@@ -1,0 +1,67 @@
+// Ablation A1: what does message blinding actually buy?
+// Four ScholarCloud variants under the same GFW:
+//   (a) registered + byte-map blinding        — the deployed system
+//   (b) registered + printable blinding       — entropy-hiding variant
+//   (c) UNREGISTERED + byte-map blinding      — no legal avenue: the tunnel
+//       is just another unknown high-entropy flow (throttled like SS)
+//   (d) a hypothetical GFW that throttles ALL unknown flows, registered or
+//       not — byte-map loses; printable still passes the entropy classifier
+#include "bench_common.h"
+
+using namespace sc;
+using namespace sc::measure;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  bool registered;
+  crypto::BlindingMode mode;
+  bool throttle_all_unknown;
+};
+
+CampaignResult run(const Variant& v, int accesses) {
+  TestbedOptions topts;
+  topts.seed = 1234;
+  topts.register_scholarcloud = v.registered;
+  topts.blinding_mode = v.mode;
+  topts.gfw.throttle_all_unknown = v.throttle_all_unknown;
+  Testbed tb(topts);
+  CampaignOptions copts;
+  copts.accesses = accesses;
+  copts.measure_rtt = false;
+  return runAccessCampaign(tb, Method::kScholarCloud, 400, copts);
+}
+
+}  // namespace
+
+int main() {
+  const int accesses = bench::accessesFromEnv();
+  std::printf("Ablation A1 — message blinding & registration (%d accesses)\n",
+              accesses);
+
+  const Variant variants[] = {
+      {"registered + byte-map", true, crypto::BlindingMode::kByteMap, false},
+      {"registered + printable", true, crypto::BlindingMode::kPrintable,
+       false},
+      {"UNREGISTERED + byte-map", false, crypto::BlindingMode::kByteMap,
+       false},
+      {"paranoid GFW + byte-map", true, crypto::BlindingMode::kByteMap, true},
+      {"paranoid GFW + printable", true, crypto::BlindingMode::kPrintable,
+       true},
+  };
+
+  Report report("A1: ScholarCloud variants", {"PLR %", "PLT sub s", "KB/acc"});
+  for (const auto& v : variants) {
+    const auto c = run(v, accesses);
+    report.addRow({v.label,
+                   {c.plr_pct, c.plt_sub_s.mean, c.traffic_kb_per_access}});
+  }
+  report.print();
+  std::printf(
+      "\nReading: registration is what protects the high-entropy byte-map "
+      "tunnel\n(unregistered -> throttled). Against a GFW that throttles every "
+      "unknown\nhigh-entropy flow, only the printable encoding survives — at "
+      "a ~33%%\nbandwidth premium. This is §3's agility argument in numbers.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation A3: Shadowsocks' keep-alive timeout vs PLT. The paper root-causes
+// SS's long PLT partly to its 10 s keep-alive: with one access per minute,
+// every page load pays the authentication connection again. Sweeping the
+// timeout shows the crossover.
+#include "bench_common.h"
+
+using namespace sc;
+using namespace sc::measure;
+
+int main() {
+  const int accesses = bench::accessesFromEnv(60);
+  std::printf("Ablation A3 — Shadowsocks keep-alive timeout sweep "
+              "(%d accesses, 60 s apart)\n",
+              accesses);
+
+  const sim::Time timeouts[] = {
+      2 * sim::kSecond,  10 * sim::kSecond, 30 * sim::kSecond,
+      60 * sim::kSecond, 90 * sim::kSecond, 300 * sim::kSecond};
+
+  Report report("A3: subsequent PLT and auth connections vs keep-alive",
+                {"PLT sub s", "auth conns", "PLR %"});
+  for (const sim::Time ka : timeouts) {
+    TestbedOptions topts;
+    topts.seed = 555;
+    topts.ss_keepalive = ka;
+    Testbed tb(topts);
+    CampaignOptions copts;
+    copts.accesses = accesses;
+    copts.measure_rtt = false;
+    const auto c = runAccessCampaign(tb, Method::kShadowsocks, 500, copts);
+    report.addRow({std::to_string(ka / sim::kSecond) + " s keep-alive",
+                   {c.plt_sub_s.mean,
+                    static_cast<double>(tb.ssRemote().authsServed()),
+                    c.plr_pct}});
+  }
+  report.print();
+  std::printf("\nReading: once the keep-alive outlives the access cadence "
+              "(>=60 s), the\nper-access auth round trip disappears and PLT "
+              "drops toward the VPN band —\nconfirming the paper's root-cause "
+              "analysis of Fig. 5a.\n");
+  return 0;
+}

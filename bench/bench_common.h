@@ -1,0 +1,61 @@
+// Shared plumbing for the figure benches: a standard five-method campaign
+// sweep at the paper's cadence (one access per simulated minute), scaled to
+// SC_BENCH_ACCESSES accesses (default 120; set the environment variable to
+// 1440 for the paper's full day).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "measure/report.h"
+#include "measure/resource_model.h"
+#include "measure/testbed.h"
+
+namespace sc::bench {
+
+inline int accessesFromEnv(int fallback = 120) {
+  if (const char* env = std::getenv("SC_BENCH_ACCESSES")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+// The five methods of Fig. 2/5/6, in the paper's presentation order.
+inline const std::vector<measure::Method>& paperMethods() {
+  static const std::vector<measure::Method> methods = {
+      measure::Method::kNativeVpn, measure::Method::kOpenVpn,
+      measure::Method::kTor, measure::Method::kShadowsocks,
+      measure::Method::kScholarCloud};
+  return methods;
+}
+
+struct SweepResult {
+  std::vector<measure::CampaignResult> campaigns;  // index-aligned to methods
+};
+
+inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
+                                      std::uint64_t seed = 42,
+                                      bool cold_cache = false) {
+  SweepResult sweep;
+  measure::TestbedOptions topts;
+  topts.seed = seed;
+  measure::Testbed tb(topts);
+  measure::CampaignOptions copts;
+  copts.accesses = accesses;
+  copts.measure_rtt = measure_rtt;
+  copts.cold_cache = cold_cache;
+  std::uint32_t tag = 100;
+  for (const auto method : paperMethods()) {
+    auto result = measure::runAccessCampaign(tb, method, tag++, copts);
+    if (!result.setup_ok)
+      std::fprintf(stderr, "WARNING: %s setup failed\n",
+                   measure::methodName(method));
+    sweep.campaigns.push_back(std::move(result));
+  }
+  return sweep;
+}
+
+}  // namespace sc::bench

@@ -1,0 +1,36 @@
+// Figure 3: distribution of methods for accessing Google Scholar among the
+// 371 surveyed Tsinghua scholars (July 2015). Regenerates the pie-chart
+// numbers by synthesizing a response set and tabulating it.
+#include <cstdio>
+
+#include "measure/report.h"
+#include "sim/rng.h"
+#include "survey/survey.h"
+
+int main() {
+  using namespace sc;
+  sim::Rng rng(2015);
+  const auto responses = survey::synthesizeResponses(rng);
+  const auto tab = survey::tabulate(responses);
+
+  std::printf("Figure 3 — survey of %d Tsinghua scholars (BBS, July 2015)\n",
+              tab.total);
+  std::printf("%s\n", tab.asText().c_str());
+
+  measure::Report report("Fig. 3: share among GFW-bypassing respondents (%)",
+                         {"paper", "reproduced"});
+  const double vpn = tab.share(survey::AccessMethod::kNativeVpn) +
+                     tab.share(survey::AccessMethod::kOpenVpn);
+  report.addRow({"bypass GFW at all", {26.0, tab.bypassFraction() * 100}});
+  report.addRow({"VPN (all)", {43.0, vpn * 100}});
+  report.addRow({"  native VPN (of VPN)", {93.0, tab.nativeWithinVpn() * 100}});
+  report.addRow(
+      {"  OpenVPN (of VPN)", {7.0, (1.0 - tab.nativeWithinVpn()) * 100}});
+  report.addRow({"Tor", {2.0, tab.share(survey::AccessMethod::kTor) * 100}});
+  report.addRow({"Shadowsocks",
+                 {21.0, tab.share(survey::AccessMethod::kShadowsocks) * 100}});
+  report.addRow(
+      {"other methods", {34.0, tab.share(survey::AccessMethod::kOther) * 100}});
+  report.print();
+  return 0;
+}

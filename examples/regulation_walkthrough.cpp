@@ -1,0 +1,103 @@
+// Regulation walkthrough: §2's bilateral ecosystem as a runnable story.
+// An operator stands up an unregistered proxy, the enforcement machinery
+// closes in, and the ScholarCloud path — documents, TCA registration, ICP
+// number, visible whitelist — shows the legal avenue working end to end.
+//
+//   ./build/examples/regulation_walkthrough
+#include <cstdio>
+
+#include "measure/testbed.h"
+
+using namespace sc;
+using measure::Testbed;
+
+int main() {
+  std::printf("China's Internet regulation, the runnable version\n");
+
+  measure::TestbedOptions topts;
+  topts.register_scholarcloud = false;  // start unlicensed
+  Testbed tb(topts);
+  auto& sim = tb.sim();
+  auto& registry = tb.registry();
+  auto& mps = tb.mps();
+
+  // --- act 1: an unregistered public proxy draws attention ----------------
+  std::printf("\nAct 1 — an unregistered proxy accumulates complaints\n");
+  const net::Ipv4 rogue(203, 0, 1, 200);
+  for (int i = 0; i < 5; ++i) mps.reportService(rogue, "freeproxy.example");
+  std::printf("  5 reports filed; open investigations: %llu\n",
+              static_cast<unsigned long long>(mps.openInvestigations()));
+  sim.runUntil(sim.now() + 45 * sim::kDay);
+  std::printf("  45 days later: shutdowns issued = %llu (IP now on the GFW "
+              "blocklist: %s)\n",
+              static_cast<unsigned long long>(mps.shutdownsIssued()),
+              tb.gfw().ips().isBlocked(rogue, sim.now()) ? "yes" : "no");
+
+  // --- act 2: ScholarCloud files a complete application -------------------
+  std::printf("\nAct 2 — ScholarCloud registers properly\n");
+  const auto application = tb.deployment().buildApplication();
+  std::printf("  service: %s (%s), company: %s\n",
+              application.service_name.c_str(), application.domain.c_str(),
+              application.company.c_str());
+  std::printf("  documents: biometric=%s, service-docs=%s, user-guide=%s\n",
+              application.biometric_document ? "yes" : "no",
+              application.service_documentation ? "yes" : "no",
+              application.user_guide ? "yes" : "no");
+  std::printf("  visible whitelist:");
+  for (const auto& d : application.whitelist) std::printf(" %s", d.c_str());
+  std::printf("\n");
+
+  bool registered = false;
+  std::string detail;
+  tb.deployment().registerWithAgency(tb.tca(), [&](bool ok, std::string d) {
+    registered = ok;
+    detail = std::move(d);
+  });
+  std::printf("  submitted to the TCA agency; verification takes weeks...\n");
+  sim.runWhile([&] { return !detail.empty() || registered; },
+               sim.now() + 200 * sim::kDay);
+  std::printf("  decision after %.0f days: %s (%s)\n",
+              sim::toSeconds(sim.now()) / 86400.0,
+              registered ? "APPROVED" : "REJECTED", detail.c_str());
+  std::printf("  MIIT registry now lists %zu active registrations\n",
+              registry.activeRegistrations());
+
+  // --- act 3: the registration is what the GFW's leniency keys on ---------
+  std::printf("\nAct 3 — the legal avenue in action\n");
+  bool ready = false;
+  auto& client = tb.addClient(measure::Method::kScholarCloud, 3000,
+                              [&](bool ok) { ready = ok; });
+  sim.runWhile([&] { return ready; }, sim.now() + 2 * sim::kMinute);
+  bool done = false;
+  http::PageLoadResult result;
+  client.browser->loadPage(Testbed::kScholarHost, [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  sim.runWhile([&] { return done; }, sim.now() + 2 * sim::kMinute);
+  std::printf("  scholar.google.com through the registered proxy: %s "
+              "(PLT %.2fs)\n",
+              result.ok ? "OK" : "FAILED", sim::toSeconds(result.plt));
+  std::printf("  GFW leniency grants: %llu\n",
+              static_cast<unsigned long long>(
+                  tb.gfw().stats().leniency_granted));
+
+  // --- act 4: agencies can demand whitelist changes on demand -------------
+  std::printf("\nAct 4 — whitelist audit\n");
+  tb.domesticProxy().addToWhitelist("banned.example");
+  // The operator must keep the registered record in sync with the service —
+  // that's what makes the whitelist *visible* to the agencies.
+  if (auto* record = registry.mutableRecord(tb.domesticProxy().icpNumber()))
+    record->whitelist = tb.domesticProxy().whitelist();
+  const auto removed = mps.auditWhitelist(tb.domesticProxy().icpNumber(),
+                                          {"banned.example"});
+  for (const auto& d : removed) {
+    tb.domesticProxy().removeFromWhitelist(d);
+    std::printf("  ordered removal honored: %s\n", d.c_str());
+  }
+  std::printf("  surviving whitelist:");
+  for (const auto& d : tb.domesticProxy().whitelist())
+    std::printf(" %s", d.c_str());
+  std::printf("\n\nCoexistence, demonstrated.\n");
+  return 0;
+}

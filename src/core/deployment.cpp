@@ -1,0 +1,40 @@
+#include "core/deployment.h"
+
+namespace sc::core {
+
+regulation::IcpRecord Deployment::buildApplication() const {
+  regulation::IcpRecord record;
+  record.service_name = info_.service_name;
+  record.domain = info_.domain;
+  record.type = regulation::ServiceType::kWebProxy;
+  record.company = info_.company;
+  record.responsible_person = info_.responsible_person;
+  record.server_address = proxy_.proxyEndpoint().ip;
+  record.biometric_document = true;
+  record.service_documentation = true;  // text, screenshots, usage videos
+  record.user_guide = true;
+  record.whitelist = proxy_.whitelist();
+  return record;
+}
+
+void Deployment::registerWithAgency(regulation::TcaAgency& agency,
+                                    RegisteredCb cb) {
+  agency.submitApplication(
+      buildApplication(),
+      [this, cb = std::move(cb)](regulation::TcaAgency::Decision decision) {
+        if (decision.approved) {
+          proxy_.setIcpNumber(decision.icp_number);
+          cb(true, decision.icp_number);
+        } else {
+          cb(false, decision.reason);
+        }
+      });
+}
+
+double Deployment::dailyCostPerUser() const {
+  const std::size_t users = proxy_.usersServed();
+  return users == 0 ? info_.daily_cost_usd
+                    : info_.daily_cost_usd / static_cast<double>(users);
+}
+
+}  // namespace sc::core

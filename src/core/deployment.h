@@ -1,0 +1,54 @@
+// ScholarCloud deployment & legalization glue (§3 "Service legalization" and
+// the §1 deployment notes: launched Jan 2016, two regular VM servers,
+// 2.2 USD/day operating cost, scholar.thucloud.com).
+//
+// Ties the system pieces together: assembles the ICP application (company,
+// responsible person, biometric document, service documentation with
+// screenshots/videos, user guide, visible whitelist), submits it through a
+// TCA agency, and on approval wires the ICP number into the domestic proxy
+// and the registry into the GFW's leniency lookup.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/domestic_proxy.h"
+#include "regulation/tca_agency.h"
+
+namespace sc::core {
+
+struct DeploymentInfo {
+  std::string service_name = "ScholarCloud";
+  std::string domain = "scholar.thucloud.com";
+  std::string company = "ThuCloud Network Technology Co., Ltd.";
+  std::string responsible_person = "Z. Lu";
+  int vm_servers = 2;
+  double daily_cost_usd = 2.2;
+};
+
+class Deployment {
+ public:
+  Deployment(DomesticProxy& proxy, DeploymentInfo info = {})
+      : proxy_(proxy), info_(std::move(info)) {}
+
+  // Files the registration (documents included) and, weeks later in
+  // simulated time, installs the assigned ICP number on success.
+  using RegisteredCb = std::function<void(bool ok, std::string detail)>;
+  void registerWithAgency(regulation::TcaAgency& agency, RegisteredCb cb);
+
+  // The application as submitted — exposed so audits/tests can inspect it.
+  regulation::IcpRecord buildApplication() const;
+
+  bool legalized() const noexcept { return !proxy_.icpNumber().empty(); }
+  const DeploymentInfo& info() const noexcept { return info_; }
+
+  // Daily operating cost per current user (the paper: 2.2 USD / ~700 daily
+  // users); returns the full cost when nobody is online yet.
+  double dailyCostPerUser() const;
+
+ private:
+  DomesticProxy& proxy_;
+  DeploymentInfo info_;
+};
+
+}  // namespace sc::core

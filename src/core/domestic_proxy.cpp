@@ -1,0 +1,291 @@
+#include "core/domestic_proxy.h"
+
+#include "http/client.h"
+#include "util/strings.h"
+
+namespace sc::core {
+
+DomesticProxy::DomesticProxy(transport::HostStack& stack,
+                             DomesticProxyOptions options,
+                             std::uint32_t measure_tag)
+    : stack_(stack), options_(std::move(options)), tag_(measure_tag) {
+  http::ServerOptions sopts;
+  sopts.port = options_.http_port;
+  sopts.cycles_per_request = options_.cycles_per_request;
+  sopts.cycles_per_body_byte = 5.0;  // forwarding, not content assembly
+  server_ = std::make_unique<http::HttpServer>(stack_, sopts);
+
+  server_->route("/proxy.pac", [this](const http::Request&,
+                                      http::HttpServer::Respond respond) {
+    ++pac_downloads_;
+    http::Response resp;
+    resp.headers.set("content-type", "application/x-ns-proxy-autoconfig");
+    resp.body = toBytes(buildPac().toJavaScript());
+    respond(std::move(resp));
+  });
+
+  server_->setDefaultHandler([this](const http::Request& req,
+                                    http::HttpServer::Respond respond) {
+    handleHttpRequest(req, std::move(respond));
+  });
+  server_->setConnectHandler(
+      [this](const http::Request& req, transport::Stream::Ptr client,
+             http::HttpServer::Respond respond) {
+        handleConnect(req, std::move(client), std::move(respond));
+      });
+
+  tunnels_.resize(static_cast<std::size_t>(options_.tunnel_pool_size));
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) ensureTunnel(i);
+}
+
+http::Url DomesticProxy::pacUrl() const {
+  http::Url url;
+  url.scheme = "http";
+  url.host = stack_.node().primaryIp().str();
+  url.port = options_.http_port;
+  url.path = "/proxy.pac";
+  return url;
+}
+
+http::PacScript DomesticProxy::buildPac() const {
+  http::PacScript pac;
+  for (const auto& domain : options_.whitelist)
+    pac.addDomainRule(domain, http::ProxyDecision::httpProxy(proxyEndpoint()));
+  pac.setDefault(http::ProxyDecision::direct());
+  return pac;
+}
+
+bool DomesticProxy::isWhitelisted(const std::string& host) const {
+  for (const auto& domain : options_.whitelist) {
+    if (dnsDomainIs(host, domain)) return true;
+  }
+  return false;
+}
+
+void DomesticProxy::addToWhitelist(const std::string& domain) {
+  if (std::find(options_.whitelist.begin(), options_.whitelist.end(),
+                domain) == options_.whitelist.end())
+    options_.whitelist.push_back(domain);
+}
+
+void DomesticProxy::removeFromWhitelist(const std::string& domain) {
+  std::erase(options_.whitelist, domain);
+}
+
+void DomesticProxy::ensureTunnel(std::size_t slot) {
+  auto direct = stack_.directConnector(tag_);
+  direct->connect(
+      transport::ConnectTarget::byAddress(options_.remote),
+      [this, slot](transport::Stream::Ptr wire) {
+        if (wire == nullptr) {
+          // Remote unreachable: retry with backoff.
+          stack_.sim().schedule(5 * sim::kSecond,
+                                [this, slot] { ensureTunnel(slot); });
+          return;
+        }
+        Tunnel::Options topts;
+        topts.secret = options_.tunnel_secret;
+        topts.blinding_mode = options_.blinding_mode;
+        topts.client_side = true;
+        auto tunnel = Tunnel::create(std::move(wire), stack_.sim(),
+                                     std::move(topts));
+        tunnel->setOnClose([this, slot] {
+          tunnels_[slot] = nullptr;
+          stack_.sim().schedule(sim::kSecond,
+                                [this, slot] { ensureTunnel(slot); });
+        });
+        tunnels_[slot] = std::move(tunnel);
+      });
+}
+
+void DomesticProxy::withTunnel(std::function<void(Tunnel::Ptr)> fn,
+                               int retries_left) {
+  if (Tunnel::Ptr tunnel = pickTunnel()) {
+    fn(std::move(tunnel));
+    return;
+  }
+  if (retries_left <= 0) {
+    fn(nullptr);
+    return;
+  }
+  stack_.sim().schedule(200 * sim::kMillisecond,
+                        [this, fn = std::move(fn), retries_left]() mutable {
+                          withTunnel(std::move(fn), retries_left - 1);
+                        });
+}
+
+Tunnel::Ptr DomesticProxy::pickTunnel() {
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) {
+    const std::size_t idx = (next_tunnel_ + i) % tunnels_.size();
+    if (tunnels_[idx] != nullptr && tunnels_[idx]->connected()) {
+      next_tunnel_ = idx + 1;
+      return tunnels_[idx];
+    }
+  }
+  return nullptr;
+}
+
+void DomesticProxy::rotateBlinding(std::uint32_t new_epoch) {
+  epoch_ = new_epoch;
+  for (auto& tunnel : tunnels_) {
+    if (tunnel != nullptr) tunnel->rotateBlinding(new_epoch);
+  }
+}
+
+void DomesticProxy::autoRotateBlinding(sim::Time interval) {
+  rotate_timer_.cancel();
+  if (interval <= 0) return;
+  rotate_timer_ = stack_.sim().schedule(interval, [this, interval] {
+    rotateBlinding(epoch_ + 1);
+    autoRotateBlinding(interval);
+  });
+}
+
+void DomesticProxy::enableSocks(net::Port port) {
+  socks_ = std::make_unique<http::SocksServer>(
+      [this](transport::ConnectTarget target, transport::Stream::Ptr client,
+             std::function<void(bool)> respond) {
+        onSocksRequest(std::move(target), std::move(client),
+                       std::move(respond));
+      });
+  socks_listener_ = stack_.tcpListen(
+      port, [this](transport::TcpSocket::Ptr sock) { socks_->accept(sock); });
+}
+
+void DomesticProxy::onSocksRequest(transport::ConnectTarget target,
+                                   transport::Stream::Ptr client,
+                                   std::function<void(bool)> respond) {
+  // Same whitelist discipline as the HTTP paths: this extension widens the
+  // *protocols* ScholarCloud can carry, never the *destinations*.
+  if (!target.byName() || !isWhitelisted(target.host)) {
+    ++denied_;
+    respond(false);
+    return;
+  }
+  withTunnel([this, target = std::move(target), client = std::move(client),
+              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
+    auto stream = tunnel == nullptr
+                      ? nullptr
+                      : tunnel->openStream(target, /*passthrough=*/false);
+    if (stream == nullptr) {
+      ++denied_;
+      respond(false);
+      return;
+    }
+    ++proxied_;
+    ++socks_streams_;
+    respond(true);
+    transport::bridgeStreams(std::move(client), std::move(stream));
+  });
+}
+
+void DomesticProxy::handleHttpRequest(const http::Request& req,
+                                      http::HttpServer::Respond respond) {
+  const auto url = http::Url::parse(req.target);
+  const std::string host = url ? url->host : req.host();
+  if (const auto peer = req.headers.get(http::HttpServer::kPeerHeader)) {
+    if (const auto ip = net::Ipv4::parse(*peer)) users_.insert(*ip);
+  }
+
+  if (!url.has_value() || !isWhitelisted(host)) {
+    ++denied_;
+    http::Response resp;
+    resp.status = 403;
+    resp.reason = http::statusReason(403);
+    resp.body = toBytes("host not on the registered whitelist");
+    respond(std::move(resp));
+    return;
+  }
+
+  withTunnel([this, req, url, host,
+              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
+    // Plain HTTP rides an AES-encrypted tunnel stream (the "HTTPS-like
+    // encrypted tunnel" of §3's data-security paragraph).
+    auto stream = tunnel == nullptr
+                      ? nullptr
+                      : tunnel->openStream(
+                            transport::ConnectTarget::byHostname(host,
+                                                                 url->port),
+                            /*passthrough=*/false);
+    if (stream == nullptr) {
+      ++denied_;
+      http::Response resp;
+      resp.status = 502;
+      resp.reason = http::statusReason(502);
+      respond(std::move(resp));
+      return;
+    }
+    ++proxied_;
+    http::Request upstream_req = req;
+    upstream_req.target = url->path;  // absolute-form to origin-form
+    upstream_req.headers.set("via", "scholarcloud/1.0");
+    http::HttpClient::fetchOn(
+        stream, stack_.sim(), std::move(upstream_req), 40 * sim::kSecond,
+        [stream,
+         respond = std::move(respond)](std::optional<http::Response> r) {
+          stream->close();
+          if (!r.has_value()) {
+            http::Response resp;
+            resp.status = 504;
+            resp.reason = http::statusReason(504);
+            respond(std::move(resp));
+            return;
+          }
+          respond(std::move(*r));
+        });
+  });
+}
+
+void DomesticProxy::handleConnect(const http::Request& req,
+                                  transport::Stream::Ptr client,
+                                  http::HttpServer::Respond respond) {
+  // CONNECT target is authority-form "host:port".
+  const auto parts = splitString(req.target, ':');
+  const std::string host = parts.empty() ? "" : parts[0];
+  net::Port port = 443;
+  if (parts.size() >= 2) {
+    int p = 0;
+    for (char c : parts[1])
+      if (c >= '0' && c <= '9') p = p * 10 + (c - '0');
+    if (p > 0 && p <= 65535) port = static_cast<net::Port>(p);
+  }
+  if (const auto peer = req.headers.get(http::HttpServer::kPeerHeader)) {
+    if (const auto ip = net::Ipv4::parse(*peer)) users_.insert(*ip);
+  }
+
+  http::Response resp;
+  if (!isWhitelisted(host)) {
+    ++denied_;
+    resp.status = 403;
+    resp.reason = http::statusReason(403);
+    respond(std::move(resp));
+    client->close();
+    return;
+  }
+  withTunnel([this, host, port, client = std::move(client),
+              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
+    http::Response resp;
+    // HTTPS is already end-to-end encrypted: passthrough stream, no double
+    // encryption (§3, "Data security and privacy").
+    auto stream = tunnel == nullptr
+                      ? nullptr
+                      : tunnel->openStream(
+                            transport::ConnectTarget::byHostname(host, port),
+                            /*passthrough=*/true);
+    if (stream == nullptr) {
+      ++denied_;
+      resp.status = 502;
+      resp.reason = http::statusReason(502);
+      respond(std::move(resp));
+      client->close();
+      return;
+    }
+    ++proxied_;
+    resp.status = 200;
+    resp.reason = "Connection Established";
+    respond(std::move(resp));
+    transport::bridgeStreams(std::move(client), std::move(stream));
+  });
+}
+
+}  // namespace sc::core

@@ -1,0 +1,118 @@
+// ScholarCloud domestic proxy: the China-side half of the split-proxy (§3).
+//
+// This is the component users actually touch — and all they touch is one
+// browser setting: the PAC URL this proxy serves at /proxy.pac. The PAC
+// diverts only the visible whitelist of legal-but-blocked domains here;
+// everything else stays DIRECT. Whitelisted requests ride the blinded mux
+// tunnel to the remote proxy:
+//   - plain-HTTP requests (absolute-form GET) open an AES-encrypted stream;
+//   - CONNECT requests (HTTPS) open a passthrough stream — the content is
+//     already end-to-end encrypted, so no double encryption.
+// Non-whitelisted requests are refused with 403: the proxy "does not modify
+// the traffic at all", and agencies can audit exactly what it carries.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tunnel.h"
+#include "http/pac.h"
+#include "http/server.h"
+#include "http/socks.h"
+
+namespace sc::core {
+
+struct DomesticProxyOptions {
+  net::Port http_port = 8080;
+  net::Endpoint remote;  // remote proxy tunnel endpoint
+  Bytes tunnel_secret;
+  crypto::BlindingMode blinding_mode = crypto::BlindingMode::kByteMap;
+  std::vector<std::string> whitelist;  // e.g. {"scholar.google.com"}
+  int tunnel_pool_size = 8;  // mux capacity scales with expected concurrency
+  // Per-request work of the real deployment's user-space proxy (whitelist
+  // check, user registry, logging, blinding) on its single-core VM. Light
+  // enough that the service scales linearly in Fig. 7, as the paper found.
+  double cycles_per_request = 6e6;
+};
+
+class DomesticProxy {
+ public:
+  DomesticProxy(transport::HostStack& stack, DomesticProxyOptions options,
+                std::uint32_t measure_tag = 0);
+
+  net::Endpoint proxyEndpoint() const {
+    return net::Endpoint{stack_.node().primaryIp(), options_.http_port};
+  }
+  http::Url pacUrl() const;
+
+  // ---- whitelist management (agencies can demand changes, §3) ----
+  bool isWhitelisted(const std::string& host) const;
+  void addToWhitelist(const std::string& domain);
+  void removeFromWhitelist(const std::string& domain);
+  const std::vector<std::string>& whitelist() const noexcept {
+    return options_.whitelist;
+  }
+  http::PacScript buildPac() const;
+
+  // ---- blinding agility ----
+  void rotateBlinding(std::uint32_t new_epoch);
+  // Operators can rotate on a schedule without manual intervention: every
+  // `interval` the epoch is bumped on all tunnels. Pass 0 to stop.
+  void autoRotateBlinding(sim::Time interval);
+  std::uint32_t blindingEpoch() const noexcept { return epoch_; }
+
+  // ---- §6 extension: non-HTTP(S) content ----
+  // The paper calls the web-only design a double-edged sword; this is the
+  // future-work fix: an optional SOCKS5 port on the domestic proxy that
+  // carries arbitrary TCP to *whitelisted* hosts through the same blinded
+  // tunnel (whitelist discipline and legalization story unchanged).
+  void enableSocks(net::Port port = 1080);
+  std::uint64_t socksStreams() const noexcept { return socks_streams_; }
+
+  // ---- ops visibility ----
+  std::size_t usersServed() const noexcept { return users_.size(); }
+  std::uint64_t requestsProxied() const noexcept { return proxied_; }
+  std::uint64_t requestsDenied() const noexcept { return denied_; }
+  std::uint64_t pacDownloads() const noexcept { return pac_downloads_; }
+
+  // ICP registration bookkeeping (filled in by Deployment).
+  void setIcpNumber(std::string number) { icp_number_ = std::move(number); }
+  const std::string& icpNumber() const noexcept { return icp_number_; }
+
+ private:
+  Tunnel::Ptr pickTunnel();
+  // Invokes `fn` with a connected tunnel, retrying briefly while the pool is
+  // still dialing (startup or post-drop reconnect); nullptr on timeout.
+  void withTunnel(std::function<void(Tunnel::Ptr)> fn, int retries_left = 50);
+  void ensureTunnel(std::size_t slot);
+  void handleHttpRequest(const http::Request& req,
+                         http::HttpServer::Respond respond);
+  void handleConnect(const http::Request& req,
+                     transport::Stream::Ptr client,
+                     http::HttpServer::Respond respond);
+
+  void onSocksRequest(transport::ConnectTarget target,
+                      transport::Stream::Ptr client,
+                      std::function<void(bool)> respond);
+
+  transport::HostStack& stack_;
+  DomesticProxyOptions options_;
+  std::uint32_t tag_;
+  std::unique_ptr<http::HttpServer> server_;
+  std::unique_ptr<http::SocksServer> socks_;
+  transport::TcpListener::Ptr socks_listener_;
+  std::uint64_t socks_streams_ = 0;
+  std::uint32_t epoch_ = 0;
+  sim::EventHandle rotate_timer_;
+  std::vector<Tunnel::Ptr> tunnels_;
+  std::size_t next_tunnel_ = 0;
+  std::set<net::Ipv4> users_;
+  std::uint64_t proxied_ = 0;
+  std::uint64_t denied_ = 0;
+  std::uint64_t pac_downloads_ = 0;
+  std::string icp_number_;
+};
+
+}  // namespace sc::core

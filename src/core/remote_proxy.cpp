@@ -1,0 +1,85 @@
+#include "core/remote_proxy.h"
+
+#include <algorithm>
+
+namespace sc::core {
+
+RemoteProxy::RemoteProxy(transport::HostStack& stack,
+                         RemoteProxyOptions options)
+    : stack_(stack),
+      options_(std::move(options)),
+      resolver_(stack, options_.dns_server) {
+  listener_ = stack_.tcpListen(options_.port,
+                               [this](transport::TcpSocket::Ptr sock) {
+                                 onTunnelConnection(std::move(sock));
+                               });
+}
+
+void RemoteProxy::onTunnelConnection(transport::TcpSocket::Ptr sock) {
+  const bool authorized =
+      std::any_of(options_.authorized_peers.begin(),
+                  options_.authorized_peers.end(),
+                  [&](net::Ipv4 ip) { return ip == sock->remote().ip; });
+  if (!authorized) {
+    // Mute treatment for strangers and probes: close without a byte.
+    ++rejected_;
+    auto keep = sock;
+    stack_.sim().schedule(500 * sim::kMillisecond, [keep] { keep->close(); });
+    return;
+  }
+
+  ++tunnels_;
+  Tunnel::Options topts;
+  topts.secret = options_.tunnel_secret;
+  topts.blinding_mode = options_.blinding_mode;
+  topts.client_side = false;
+  auto tunnel = Tunnel::create(sock, stack_.sim(), std::move(topts));
+  tunnel->setOpenHandler([this](transport::Stream::Ptr stream,
+                                transport::ConnectTarget target,
+                                bool passthrough) {
+    onOpen(std::move(stream), std::move(target), passthrough);
+  });
+  tunnels_alive_.insert(tunnel);
+  tunnel->setOnClose([this, raw = tunnel.get()] {
+    std::erase_if(tunnels_alive_,
+                  [raw](const Tunnel::Ptr& t) { return t.get() == raw; });
+  });
+}
+
+void RemoteProxy::onOpen(transport::Stream::Ptr stream,
+                         transport::ConnectTarget target, bool passthrough) {
+  (void)passthrough;
+  ++streams_;
+
+  auto connect_upstream = [this, stream](net::Ipv4 ip, net::Port port) {
+    // Relay work costs CPU on the single-core VM (Fig. 7 scalability).
+    stack_.cpu().submit(5e6, [this, stream, ip, port] {
+      stack_.directConnector()->connect(
+          transport::ConnectTarget::byAddress({ip, port}),
+          [stream](transport::Stream::Ptr upstream) {
+            if (upstream == nullptr) {
+              stream->close();
+              return;
+            }
+            transport::bridgeStreams(stream, upstream);
+          });
+    });
+  };
+
+  if (target.byName()) {
+    const net::Port port = target.port;
+    resolver_.resolve(target.host,
+                      [stream, port, connect_upstream](
+                          std::optional<net::Ipv4> ip) {
+                        if (!ip.has_value()) {
+                          stream->close();
+                          return;
+                        }
+                        connect_upstream(*ip, port);
+                      });
+  } else {
+    connect_upstream(target.ip, target.port);
+  }
+}
+
+}  // namespace sc::core

@@ -1,0 +1,232 @@
+#include "core/tunnel.h"
+
+#include "crypto/hmac.h"
+#include "transport/cipher_stream.h"
+
+namespace sc::core {
+
+namespace {
+Bytes encodeTarget(const transport::ConnectTarget& target, bool passthrough) {
+  Bytes out;
+  appendU8(out, passthrough ? 1 : 0);
+  if (target.byName()) {
+    appendU8(out, 0x03);
+    appendU8(out, static_cast<std::uint8_t>(target.host.size()));
+    appendBytes(out, toBytes(target.host));
+  } else {
+    appendU8(out, 0x01);
+    appendU32(out, target.ip.v);
+  }
+  appendU16(out, target.port);
+  return out;
+}
+
+bool decodeTarget(ByteView payload, transport::ConnectTarget& target,
+                  bool& passthrough) {
+  std::size_t off = 0;
+  std::uint8_t flags = 0, atyp = 0;
+  if (!readU8(payload, off, flags) || !readU8(payload, off, atyp))
+    return false;
+  passthrough = (flags & 1) != 0;
+  if (atyp == 0x01) {
+    std::uint32_t ip = 0;
+    if (!readU32(payload, off, ip)) return false;
+    target.ip = net::Ipv4(ip);
+  } else if (atyp == 0x03) {
+    std::uint8_t len = 0;
+    Bytes host;
+    if (!readU8(payload, off, len) || !readBytes(payload, off, len, host))
+      return false;
+    target.host = toString(host);
+  } else {
+    return false;
+  }
+  return readU16(payload, off, target.port);
+}
+}  // namespace
+
+// --------------------------------------------------------------- TunnelStream
+
+void TunnelStream::send(Bytes data) {
+  if (!open_ || tunnel_ == nullptr) return;
+  tunnel_->sendFrame(FrameType::kData, id_, data);
+}
+
+void TunnelStream::close() {
+  if (!open_ || tunnel_ == nullptr) return;
+  open_ = false;
+  tunnel_->sendFrame(FrameType::kClose, id_, {});
+  tunnel_->closeStream(id_);
+}
+
+bool TunnelStream::connected() const {
+  return open_ && tunnel_ != nullptr && tunnel_->connected();
+}
+
+// --------------------------------------------------------------------- Tunnel
+
+Tunnel::Ptr Tunnel::create(transport::Stream::Ptr wire, sim::Simulator& sim,
+                           Options options) {
+  auto t = Ptr(new Tunnel(sim, std::move(options)));
+  t->start(std::move(wire));
+  return t;
+}
+
+void Tunnel::start(transport::Stream::Ptr raw_wire) {
+  wire_ = BlindedStream::wrap(std::move(raw_wire), options_.secret,
+                              options_.blinding_epoch, options_.blinding_mode);
+  auto self = shared_from_this();
+  wire_->setOnData([self](ByteView data) { self->onWireData(data); });
+  wire_->setOnClose([self] {
+    for (auto& [id, weak] : self->streams_) {
+      if (auto stream = weak.lock()) stream->remoteClosed();
+    }
+    self->streams_.clear();
+    self->wire_ = nullptr;
+    if (self->on_close_) self->on_close_();
+  });
+  // Server allocates even ids, client odd, so ids never collide.
+  next_stream_id_ = options_.client_side ? 1 : 2;
+}
+
+void Tunnel::sendFrame(FrameType type, std::uint32_t stream_id,
+                       ByteView payload) {
+  if (wire_ == nullptr) return;
+  Bytes frame;
+  appendU32(frame, static_cast<std::uint32_t>(payload.size()));
+  appendU32(frame, stream_id);
+  appendU8(frame, static_cast<std::uint8_t>(type));
+  appendBytes(frame, payload);
+  wire_->send(std::move(frame));
+}
+
+transport::Stream::Ptr Tunnel::wrapIfEncrypted(TunnelStream::Ptr stream,
+                                               bool passthrough,
+                                               bool client_side) {
+  if (passthrough) return stream;
+  Bytes label = toBytes("stream-");
+  appendU32(label, stream->id());
+  const Bytes key = crypto::deriveKey(options_.secret, toString(label), 32);
+  // Directional IVs derived, not random: both ends must agree without an
+  // extra exchange (the blinding layer already randomizes the wire bytes).
+  const Bytes iv_c = crypto::deriveKey(key, "iv-client", 16);
+  const Bytes iv_s = crypto::deriveKey(key, "iv-server", 16);
+  (void)client_side;
+  return transport::CipherStream::wrap(std::move(stream), key,
+                                       client_side ? iv_c : iv_s);
+}
+
+transport::Stream::Ptr Tunnel::openStream(
+    const transport::ConnectTarget& target, bool passthrough) {
+  if (wire_ == nullptr) return nullptr;
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  auto stream = TunnelStream::Ptr(new TunnelStream(shared_from_this(), id));
+  streams_[id] = stream;
+  ++streams_opened_;
+  sendFrame(FrameType::kOpen, id, encodeTarget(target, passthrough));
+  return wrapIfEncrypted(std::move(stream), passthrough,
+                         /*client_side=*/true);
+}
+
+void Tunnel::rotateBlinding(std::uint32_t new_epoch) {
+  Bytes payload;
+  appendU32(payload, new_epoch);
+  sendFrame(FrameType::kRotate, 0, payload);  // sent under the old mapping
+  if (wire_ != nullptr) wire_->rotate(new_epoch);
+}
+
+void Tunnel::ping(std::function<void()> on_pong) {
+  on_pong_ = std::move(on_pong);
+  sendFrame(FrameType::kPing, 0, {});
+}
+
+void Tunnel::close() {
+  if (wire_ != nullptr) {
+    auto wire = wire_;
+    wire_ = nullptr;
+    wire->close();
+  }
+  for (auto& [id, weak] : streams_) {
+    if (auto stream = weak.lock()) stream->remoteClosed();
+  }
+  streams_.clear();
+}
+
+void Tunnel::closeStream(std::uint32_t id) { streams_.erase(id); }
+
+void Tunnel::onWireData(ByteView data) {
+  appendBytes(rx_buffer_, data);
+  while (true) {
+    if (rx_buffer_.size() < 9) return;
+    std::size_t off = 0;
+    std::uint32_t len = 0, stream_id = 0;
+    std::uint8_t type = 0;
+    readU32(rx_buffer_, off, len);
+    readU32(rx_buffer_, off, stream_id);
+    readU8(rx_buffer_, off, type);
+    if (rx_buffer_.size() < 9u + len) return;
+    Bytes payload(rx_buffer_.begin() + 9,
+                  rx_buffer_.begin() + 9 + static_cast<std::ptrdiff_t>(len));
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() + 9 + static_cast<std::ptrdiff_t>(len));
+    handleFrame(static_cast<FrameType>(type), stream_id, payload);
+    if (wire_ == nullptr) return;
+  }
+}
+
+void Tunnel::handleFrame(FrameType type, std::uint32_t stream_id,
+                         ByteView payload) {
+  switch (type) {
+    case FrameType::kOpen: {
+      transport::ConnectTarget target;
+      bool passthrough = false;
+      if (!decodeTarget(payload, target, passthrough)) return;
+      auto stream =
+          TunnelStream::Ptr(new TunnelStream(shared_from_this(), stream_id));
+      streams_[stream_id] = stream;
+      auto wrapped = wrapIfEncrypted(stream, passthrough,
+                                     /*client_side=*/false);
+      if (on_open_) {
+        on_open_(std::move(wrapped), std::move(target), passthrough);
+      } else {
+        stream->close();
+      }
+      return;
+    }
+    case FrameType::kData: {
+      const auto it = streams_.find(stream_id);
+      if (it == streams_.end()) return;
+      if (auto stream = it->second.lock()) {
+        stream->deliver(payload);
+      } else {
+        streams_.erase(it);
+        sendFrame(FrameType::kClose, stream_id, {});
+      }
+      return;
+    }
+    case FrameType::kClose: {
+      const auto it = streams_.find(stream_id);
+      if (it == streams_.end()) return;
+      auto weak = it->second;
+      streams_.erase(it);
+      if (auto stream = weak.lock()) stream->remoteClosed();
+      return;
+    }
+    case FrameType::kRotate: {
+      std::size_t off = 0;
+      std::uint32_t epoch = 0;
+      if (!readU32(payload, off, epoch)) return;
+      if (wire_ != nullptr) wire_->rotate(epoch);  // re-key our tx direction
+      return;
+    }
+    case FrameType::kPing:
+      sendFrame(FrameType::kPong, 0, {});
+      return;
+    case FrameType::kPong:
+      if (auto cb = std::move(on_pong_)) cb();
+      return;
+  }
+}
+
+}  // namespace sc::core

@@ -1,0 +1,53 @@
+// AES-256 (FIPS 197) block cipher and CFB-128 stream mode, from scratch.
+//
+// Shadowsocks in the paper's testbed uses AES-256-CFB; the simulated TLS
+// record layer and the ScholarCloud inner tunnel reuse the same primitive.
+// The implementation is table-free (SubBytes computed via the canonical
+// S-box array) and optimized for clarity over throughput — ciphertext byte
+// statistics (what the GFW's entropy classifier sees) are what matter here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sc::crypto {
+
+constexpr std::size_t kAesBlockSize = 16;
+constexpr std::size_t kAes256KeySize = 32;
+
+class Aes256 {
+ public:
+  // Key must be exactly kAes256KeySize bytes; shorter keys are zero-padded,
+  // longer keys truncated (callers should always pass 32 bytes).
+  explicit Aes256(ByteView key) noexcept;
+
+  void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const noexcept;
+
+ private:
+  // 15 round keys of 16 bytes each for AES-256 (14 rounds + initial).
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+// CFB-128 segment mode. Encryption and decryption are stateful streams so a
+// long-lived proxy connection can push data incrementally.
+class AesCfbStream {
+ public:
+  AesCfbStream(ByteView key, ByteView iv) noexcept;
+
+  Bytes encrypt(ByteView plaintext);
+  Bytes decrypt(ByteView ciphertext);
+
+ private:
+  Aes256 cipher_;
+  std::uint8_t feedback_[16];
+  std::uint8_t keystream_[16];
+  std::size_t used_ = kAesBlockSize;  // forces keystream refill on first byte
+};
+
+// One-shot helpers (fresh stream per call).
+Bytes aes256CfbEncrypt(ByteView key, ByteView iv, ByteView plaintext);
+Bytes aes256CfbDecrypt(ByteView key, ByteView iv, ByteView ciphertext);
+
+}  // namespace sc::crypto

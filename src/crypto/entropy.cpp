@@ -1,0 +1,49 @@
+#include "crypto/entropy.h"
+
+#include <array>
+#include <cmath>
+
+namespace sc::crypto {
+
+namespace {
+std::array<std::size_t, 256> histogram(ByteView data) {
+  std::array<std::size_t, 256> h{};
+  for (std::uint8_t b : data) ++h[b];
+  return h;
+}
+}  // namespace
+
+double shannonEntropy(ByteView data) {
+  if (data.empty()) return 0.0;
+  const auto h = histogram(data);
+  const double n = static_cast<double>(data.size());
+  double e = 0.0;
+  for (std::size_t c : h) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    e -= p * std::log2(p);
+  }
+  return e;
+}
+
+double printableFraction(ByteView data) {
+  if (data.empty()) return 0.0;
+  std::size_t printable = 0;
+  for (std::uint8_t b : data)
+    if (b >= 0x20 && b <= 0x7e) ++printable;
+  return static_cast<double>(printable) / static_cast<double>(data.size());
+}
+
+double chiSquaredUniform(ByteView data) {
+  if (data.empty()) return 0.0;
+  const auto h = histogram(data);
+  const double expected = static_cast<double>(data.size()) / 256.0;
+  double chi = 0.0;
+  for (std::size_t c : h) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+}  // namespace sc::crypto

@@ -1,0 +1,19 @@
+// Byte-statistics utilities shared by the GFW's DPI entropy classifier and
+// by tests that validate ciphertext/blinding statistical shape.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace sc::crypto {
+
+// Shannon entropy of the byte histogram, in bits per byte (0..8).
+double shannonEntropy(ByteView data);
+
+// Fraction of bytes in the printable ASCII range [0x20, 0x7e].
+double printableFraction(ByteView data);
+
+// Chi-squared statistic against the uniform byte distribution. High-entropy
+// ciphertext scores near 256 (degrees of freedom); text scores far higher.
+double chiSquaredUniform(ByteView data);
+
+}  // namespace sc::crypto

@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace sc::crypto {
+
+Bytes hmacSha256(ByteView key, ByteView message) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = sha256(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  const auto d = outer.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes deriveKey(ByteView secret, std::string_view label, std::size_t n) {
+  // HKDF-expand flavour: T(i) = HMAC(secret, T(i-1) || label || i).
+  Bytes out;
+  out.reserve(n);
+  Bytes prev;
+  std::uint8_t counter = 1;
+  while (out.size() < n) {
+    Bytes input = prev;
+    appendBytes(input, toBytes(label));
+    appendU8(input, counter++);
+    prev = hmacSha256(secret, input);
+    const std::size_t take = std::min(prev.size(), n - out.size());
+    out.insert(out.end(), prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace sc::crypto

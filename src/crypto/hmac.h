@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104) and a small HKDF-style key-derivation helper.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace sc::crypto {
+
+Bytes hmacSha256(ByteView key, ByteView message);
+
+// Derives `n` bytes of key material from (secret, label). This is the key
+// schedule used by the ScholarCloud tunnel and the simulated TLS layer.
+Bytes deriveKey(ByteView secret, std::string_view label, std::size_t n);
+
+}  // namespace sc::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: HMAC authentication in the ScholarCloud tunnel, key derivation
+// for Shadowsocks (EVP_BytesToKey-style), PKI certificate fingerprints, and
+// Tor circuit key material.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sc::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(ByteView data) noexcept;
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  std::array<std::uint8_t, kSha256DigestSize> finish() noexcept;
+
+ private:
+  void processBlock(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+// One-shot convenience.
+Bytes sha256(ByteView data);
+
+}  // namespace sc::crypto

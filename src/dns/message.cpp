@@ -1,0 +1,73 @@
+#include "dns/message.h"
+
+namespace sc::dns {
+
+namespace {
+void appendName(Bytes& out, const std::string& name) {
+  appendU16(out, static_cast<std::uint16_t>(name.size()));
+  appendBytes(out, toBytes(name));
+}
+
+bool readName(ByteView in, std::size_t& off, std::string& name) {
+  std::uint16_t len = 0;
+  if (!readU16(in, off, len)) return false;
+  Bytes raw;
+  if (!readBytes(in, off, len, raw)) return false;
+  name = toString(raw);
+  return true;
+}
+}  // namespace
+
+Bytes serializeDns(const Message& msg) {
+  Bytes out;
+  appendU16(out, msg.id);
+  appendU8(out, msg.is_response ? 1 : 0);
+  appendU8(out, static_cast<std::uint8_t>(msg.rcode));
+  appendU8(out, static_cast<std::uint8_t>(msg.questions.size()));
+  appendU8(out, static_cast<std::uint8_t>(msg.answers.size()));
+  for (const auto& q : msg.questions) {
+    appendName(out, q.name);
+    appendU8(out, static_cast<std::uint8_t>(q.type));
+  }
+  for (const auto& a : msg.answers) {
+    appendName(out, a.name);
+    appendU8(out, static_cast<std::uint8_t>(a.type));
+    appendU32(out, a.ttl_seconds);
+    appendU32(out, a.address.v);
+  }
+  return out;
+}
+
+std::optional<Message> parseDns(ByteView data) {
+  Message msg;
+  std::size_t off = 0;
+  std::uint8_t qr = 0, rcode = 0, qd = 0, an = 0;
+  if (!readU16(data, off, msg.id) || !readU8(data, off, qr) ||
+      !readU8(data, off, rcode) || !readU8(data, off, qd) ||
+      !readU8(data, off, an))
+    return std::nullopt;
+  msg.is_response = qr != 0;
+  msg.rcode = static_cast<Rcode>(rcode);
+  for (int i = 0; i < qd; ++i) {
+    Question q;
+    std::uint8_t type = 0;
+    if (!readName(data, off, q.name) || !readU8(data, off, type))
+      return std::nullopt;
+    q.type = static_cast<RecordType>(type);
+    msg.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) {
+    Answer a;
+    std::uint8_t type = 0;
+    std::uint32_t addr = 0;
+    if (!readName(data, off, a.name) || !readU8(data, off, type) ||
+        !readU32(data, off, a.ttl_seconds) || !readU32(data, off, addr))
+      return std::nullopt;
+    a.type = static_cast<RecordType>(type);
+    a.address = net::Ipv4(addr);
+    msg.answers.push_back(std::move(a));
+  }
+  return msg;
+}
+
+}  // namespace sc::dns

@@ -1,0 +1,44 @@
+// DNS wire messages. The query name travels in plaintext — exactly the
+// property the GFW's DNS poisoner exploits: it watches UDP/53 crossing the
+// border, matches the qname against its blocklist, and races a forged
+// answer back to the client before the genuine response arrives.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace sc::dns {
+
+enum class RecordType : std::uint8_t { kA = 1 };
+enum class Rcode : std::uint8_t { kNoError = 0, kNxDomain = 3, kServFail = 2 };
+
+struct Question {
+  std::string name;
+  RecordType type = RecordType::kA;
+};
+
+struct Answer {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint32_t ttl_seconds = 300;
+  net::Ipv4 address;
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  Rcode rcode = Rcode::kNoError;
+  std::vector<Question> questions;
+  std::vector<Answer> answers;
+};
+
+Bytes serializeDns(const Message& msg);
+std::optional<Message> parseDns(ByteView data);
+
+constexpr net::Port kDnsPort = 53;
+
+}  // namespace sc::dns

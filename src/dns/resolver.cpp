@@ -1,0 +1,101 @@
+#include "dns/resolver.h"
+
+#include "util/strings.h"
+
+namespace sc::dns {
+
+namespace {
+constexpr sim::Time kQueryTimeout = sim::kSecond;
+constexpr int kRetries = 2;
+}  // namespace
+
+Resolver::Resolver(transport::HostStack& stack, net::Ipv4 server,
+                   std::uint32_t measure_tag)
+    : stack_(stack),
+      server_(server),
+      measure_tag_(measure_tag),
+      local_port_(stack.allocatePort()),
+      next_id_(static_cast<std::uint16_t>(stack.sim().rng().nextU64())) {
+  stack_.udpBind(local_port_, [this](net::Endpoint, ByteView data,
+                                     std::uint32_t) { onResponse(data); });
+}
+
+Resolver::~Resolver() { stack_.udpUnbind(local_port_); }
+
+bool Resolver::cached(const std::string& name) const {
+  const auto it = cache_.find(toLower(name));
+  return it != cache_.end() &&
+         it->second.expires > stack_.node().network().sim().now();
+}
+
+void Resolver::resolve(const std::string& name, Callback cb) {
+  const std::string key = toLower(name);
+  const auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.expires > stack_.sim().now()) {
+    ++cache_hits_;
+    const net::Ipv4 addr = it->second.address;
+    stack_.sim().schedule(10, [cb = std::move(cb), addr] { cb(addr); });
+    return;
+  }
+
+  const std::uint16_t id = next_id_++;
+  Pending p;
+  p.name = key;
+  p.cb = std::move(cb);
+  p.retries_left = kRetries;
+  pending_[id] = std::move(p);
+  sendQuery(id);
+}
+
+void Resolver::sendQuery(std::uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+
+  Message query;
+  query.id = id;
+  query.questions.push_back(Question{it->second.name, RecordType::kA});
+  ++queries_sent_;
+  stack_.udpSend(local_port_, net::Endpoint{server_, kDnsPort},
+                 serializeDns(query), measure_tag_);
+
+  it->second.timeout.cancel();
+  it->second.timeout =
+      stack_.sim().schedule(kQueryTimeout, [this, id] { onTimeout(id); });
+}
+
+void Resolver::onTimeout(std::uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  if (it->second.retries_left-- > 0) {
+    sendQuery(id);
+    return;
+  }
+  auto cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(std::nullopt);
+}
+
+void Resolver::onResponse(ByteView data) {
+  const auto msg = parseDns(data);
+  if (!msg || !msg->is_response) return;
+  auto it = pending_.find(msg->id);
+  if (it == pending_.end()) return;  // late duplicate or spoof with wrong id
+
+  it->second.timeout.cancel();
+  auto cb = std::move(it->second.cb);
+  const std::string name = it->second.name;
+  pending_.erase(it);
+
+  if (msg->rcode != Rcode::kNoError || msg->answers.empty()) {
+    cb(std::nullopt);
+    return;
+  }
+  const Answer& a = msg->answers.front();
+  cache_[name] = CacheEntry{
+      a.address,
+      stack_.sim().now() +
+          static_cast<sim::Time>(a.ttl_seconds) * sim::kSecond};
+  cb(a.address);
+}
+
+}  // namespace sc::dns

@@ -1,0 +1,66 @@
+// Stub resolver with cache, retry and first-answer-wins acceptance.
+//
+// First-answer-wins is the behaviour the GFW's poisoner relies on: its forged
+// reply is injected at the border and usually beats the genuine answer home.
+// The resolver cannot tell them apart (classic UDP DNS has no authentication),
+// so a poisoned name resolves to a black-hole address and the subsequent TCP
+// connect times out — which is precisely how Google Scholar "breaks" for
+// direct access in China.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "transport/host_stack.h"
+
+namespace sc::dns {
+
+class Resolver {
+ public:
+  Resolver(transport::HostStack& stack, net::Ipv4 server,
+           std::uint32_t measure_tag = 0);
+  ~Resolver();
+
+  using Callback = std::function<void(std::optional<net::Ipv4>)>;
+
+  // Resolves `name`, serving from cache when fresh.
+  void resolve(const std::string& name, Callback cb);
+
+  void setServer(net::Ipv4 server) { server_ = server; }
+  void clearCache() { cache_.clear(); }
+  bool cached(const std::string& name) const;
+
+  std::uint64_t cacheHits() const noexcept { return cache_hits_; }
+  std::uint64_t queriesSent() const noexcept { return queries_sent_; }
+
+ private:
+  struct Pending {
+    std::string name;
+    Callback cb;
+    int retries_left;
+    sim::EventHandle timeout;
+  };
+
+  void sendQuery(std::uint16_t id);
+  void onResponse(ByteView data);
+  void onTimeout(std::uint16_t id);
+
+  transport::HostStack& stack_;
+  net::Ipv4 server_;
+  std::uint32_t measure_tag_;
+  net::Port local_port_;
+  std::uint16_t next_id_;
+  std::unordered_map<std::uint16_t, Pending> pending_;
+  struct CacheEntry {
+    net::Ipv4 address;
+    sim::Time expires;
+  };
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t queries_sent_ = 0;
+};
+
+}  // namespace sc::dns

@@ -1,0 +1,53 @@
+#include "dns/server.h"
+
+#include "util/strings.h"
+
+namespace sc::dns {
+
+DnsServer::DnsServer(transport::HostStack& stack, DnsServerOptions options)
+    : stack_(stack), options_(options) {
+  stack_.udpBind(kDnsPort,
+                 [this](net::Endpoint from, ByteView data, std::uint32_t tag) {
+                   onQuery(from, data, tag);
+                 });
+}
+
+void DnsServer::addRecord(const std::string& name, net::Ipv4 address,
+                          std::uint32_t ttl_seconds) {
+  zone_[toLower(name)] = Entry{address, ttl_seconds};
+}
+
+void DnsServer::removeRecord(const std::string& name) {
+  zone_.erase(toLower(name));
+}
+
+void DnsServer::onQuery(net::Endpoint from, ByteView data, std::uint32_t tag) {
+  const auto query = parseDns(data);
+  if (!query || query->is_response || query->questions.empty()) return;
+  ++queries_;
+
+  Message reply;
+  reply.id = query->id;
+  reply.is_response = true;
+  sim::Time delay = options_.cached_delay;
+  for (const auto& q : query->questions) {
+    const std::string name = toLower(q.name);
+    const auto it = zone_.find(name);
+    if (it == zone_.end()) {
+      reply.rcode = Rcode::kNxDomain;
+      continue;
+    }
+    // First sight of a name: the recursive walk to the authoritatives.
+    if (resolved_once_.insert(name).second) delay = options_.recursion_delay;
+    Answer a;
+    a.name = q.name;
+    a.ttl_seconds = it->second.ttl_seconds;
+    a.address = it->second.address;
+    reply.answers.push_back(std::move(a));
+  }
+  stack_.sim().schedule(delay, [this, from, reply = std::move(reply), tag] {
+    stack_.udpSend(kDnsPort, from, serializeDns(reply), tag);
+  });
+}
+
+}  // namespace sc::dns

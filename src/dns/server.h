@@ -1,0 +1,48 @@
+// Authoritative/recursive DNS server over UDP 53. The measurement world runs
+// two: a domestic resolver (what CERNET clients use — its answers for blocked
+// names get poisoned at the border) and a US resolver (what full-tunnel VPN
+// clients end up using, which is why native VPN sidesteps DNS poisoning).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dns/message.h"
+#include "transport/host_stack.h"
+
+namespace sc::dns {
+
+struct DnsServerOptions {
+  // First query for a name pays the recursive-resolution walk; later
+  // queries are served from the resolver's cache. One of the reasons
+  // first-time PLT exceeds subsequent PLT in Fig. 5a.
+  sim::Time recursion_delay = 120 * sim::kMillisecond;
+  sim::Time cached_delay = 2 * sim::kMillisecond;
+};
+
+class DnsServer {
+ public:
+  explicit DnsServer(transport::HostStack& stack, DnsServerOptions options = {});
+
+  void addRecord(const std::string& name, net::Ipv4 address,
+                 std::uint32_t ttl_seconds = 300);
+  void removeRecord(const std::string& name);
+
+  std::uint64_t queriesServed() const noexcept { return queries_; }
+
+ private:
+  void onQuery(net::Endpoint from, ByteView data, std::uint32_t tag);
+
+  transport::HostStack& stack_;
+  DnsServerOptions options_;
+  struct Entry {
+    net::Ipv4 address;
+    std::uint32_t ttl_seconds;
+  };
+  std::unordered_map<std::string, Entry> zone_;
+  std::unordered_set<std::string> resolved_once_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace sc::dns

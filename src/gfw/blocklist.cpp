@@ -1,0 +1,55 @@
+#include "gfw/blocklist.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::gfw {
+
+void DomainBlocklist::add(const std::string& suffix) {
+  const std::string lower = toLower(suffix);
+  if (std::find(suffixes_.begin(), suffixes_.end(), lower) == suffixes_.end())
+    suffixes_.push_back(lower);
+}
+
+void DomainBlocklist::remove(const std::string& suffix) {
+  const std::string lower = toLower(suffix);
+  std::erase(suffixes_, lower);
+}
+
+bool DomainBlocklist::isBlocked(const std::string& host) const {
+  for (const auto& suffix : suffixes_) {
+    if (dnsDomainIs(host, suffix)) return true;
+  }
+  return false;
+}
+
+void IpBlocklist::add(net::Ipv4 ip, sim::Time expiry) {
+  const auto it = exact_.find(ip);
+  if (it == exact_.end()) {
+    exact_[ip] = expiry;
+    return;
+  }
+  if (it->second == 0) return;  // already permanent: never shorten
+  it->second = expiry == 0 ? 0 : std::max(it->second, expiry);
+}
+
+void IpBlocklist::addPrefix(net::Prefix prefix) {
+  prefixes_.push_back(prefix);
+}
+
+void IpBlocklist::remove(net::Ipv4 ip) { exact_.erase(ip); }
+
+bool IpBlocklist::isBlocked(net::Ipv4 ip, sim::Time now) const {
+  const auto it = exact_.find(ip);
+  if (it != exact_.end()) {
+    if (it->second == 0 || it->second > now) return true;
+    exact_.erase(it);  // expired
+  }
+  for (const auto& p : prefixes_) {
+    if (p.contains(ip)) return true;
+  }
+  return false;
+}
+
+}  // namespace sc::gfw

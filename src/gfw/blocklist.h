@@ -1,0 +1,43 @@
+// GFW blocklists: domain suffixes (DNS poisoning + SNI/keyword filtering)
+// and IP addresses/prefixes (with optional expiry, used both for the static
+// Google block and for temporary active-probing verdicts).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace sc::gfw {
+
+class DomainBlocklist {
+ public:
+  // Blocks the domain and all subdomains.
+  void add(const std::string& suffix);
+  void remove(const std::string& suffix);
+  bool isBlocked(const std::string& host) const;
+  std::size_t size() const noexcept { return suffixes_.size(); }
+
+ private:
+  std::vector<std::string> suffixes_;
+};
+
+class IpBlocklist {
+ public:
+  // expiry == 0 means permanent.
+  void add(net::Ipv4 ip, sim::Time expiry = 0);
+  void addPrefix(net::Prefix prefix);
+  bool isBlocked(net::Ipv4 ip, sim::Time now) const;
+  void remove(net::Ipv4 ip);
+  std::size_t size() const noexcept {
+    return exact_.size() + prefixes_.size();
+  }
+
+ private:
+  mutable std::unordered_map<net::Ipv4, sim::Time> exact_;
+  std::vector<net::Prefix> prefixes_;
+};
+
+}  // namespace sc::gfw

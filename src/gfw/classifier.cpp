@@ -1,0 +1,138 @@
+#include "gfw/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include "crypto/entropy.h"
+#include "util/strings.h"
+
+namespace sc::gfw {
+
+const char* flowClassName(FlowClass cls) {
+  switch (cls) {
+    case FlowClass::kUnknown: return "unknown";
+    case FlowClass::kPlainHttp: return "http";
+    case FlowClass::kTls: return "tls";
+    case FlowClass::kTorTls: return "tor-tls";
+    case FlowClass::kVpnPptp: return "pptp";
+    case FlowClass::kVpnL2tp: return "l2tp";
+    case FlowClass::kOpenVpn: return "openvpn";
+    case FlowClass::kHighEntropy: return "high-entropy";
+    case FlowClass::kTextLike: return "text-like";
+  }
+  return "?";
+}
+
+std::optional<TlsHelloInfo> parseClientHello(ByteView payload) {
+  // Record: 0x16, version u16, length u16; message: tag 1, sni, fingerprint.
+  std::size_t off = 0;
+  std::uint8_t rec_type = 0, msg_tag = 0;
+  std::uint16_t version = 0, rec_len = 0;
+  if (!readU8(payload, off, rec_type) || rec_type != 0x16) return std::nullopt;
+  if (!readU16(payload, off, version) || !readU16(payload, off, rec_len))
+    return std::nullopt;
+  if (!readU8(payload, off, msg_tag) || msg_tag != 1) return std::nullopt;
+
+  TlsHelloInfo info;
+  std::uint16_t len = 0;
+  Bytes raw;
+  if (!readU16(payload, off, len) || !readBytes(payload, off, len, raw))
+    return std::nullopt;
+  info.sni = toString(raw);
+  if (!readU16(payload, off, len) || !readBytes(payload, off, len, raw))
+    return std::nullopt;
+  info.fingerprint = toString(raw);
+  return info;
+}
+
+std::optional<std::string> extractHttpHost(ByteView payload) {
+  const std::string text = toString(payload);
+  // Only bother when it actually looks like an HTTP request line.
+  static constexpr const char* kMethods[] = {"GET ",  "POST ", "HEAD ",
+                                             "PUT ",  "CONNECT ", "DELETE "};
+  bool is_http = false;
+  for (const char* m : kMethods) {
+    if (startsWith(text, m)) {
+      is_http = true;
+      break;
+    }
+  }
+  if (!is_http) return std::nullopt;
+  for (const auto& line : splitString(text, '\n')) {
+    const auto trimmed = trimWhitespace(line);
+    if (iequals(trimmed.substr(0, 5), "host:"))
+      return std::string(trimWhitespace(trimmed.substr(5)));
+  }
+  // Request line may carry an absolute URI or authority form.
+  const auto first_line = splitString(text, '\n').front();
+  const auto parts = splitString(first_line, ' ');
+  if (parts.size() >= 2) {
+    std::string_view target = parts[1];
+    const auto scheme = target.find("://");
+    if (scheme != std::string_view::npos) {
+      target.remove_prefix(scheme + 3);
+      const auto slash = target.find('/');
+      const auto colon = target.find(':');
+      return std::string(target.substr(0, std::min(slash, colon)));
+    }
+  }
+  return std::string{};
+}
+
+bool isTorLikeFingerprint(const std::string& fingerprint) {
+  const std::string lower = toLower(fingerprint);
+  return lower.find("tor") != std::string::npos ||
+         lower.find("meek") != std::string::npos;
+}
+
+FlowClass classifyTcpPayload(const net::Packet& pkt,
+                             const ClassifierThresholds& thresholds) {
+  const auto& payload = pkt.payload;
+  if (payload.empty()) return FlowClass::kUnknown;
+
+  if (const auto hello = parseClientHello(payload)) {
+    return isTorLikeFingerprint(hello->fingerprint) ? FlowClass::kTorTls
+                                                    : FlowClass::kTls;
+  }
+  if (extractHttpHost(payload).has_value()) return FlowClass::kPlainHttp;
+  if (pkt.tcp().dst_port == 1723) return FlowClass::kVpnPptp;
+  if (pkt.tcp().dst_port == 1194 && !payload.empty() && payload[0] == 0x38)
+    return FlowClass::kOpenVpn;
+
+  if (payload.size() < thresholds.min_classify_bytes)
+    return FlowClass::kUnknown;
+
+  const double printable = crypto::printableFraction(payload);
+  if (printable >= thresholds.printable_benign_fraction)
+    return FlowClass::kTextLike;
+
+  // A short buffer cannot reach 8 bits/byte even if perfectly random:
+  // entropy is capped at log2(n). Scale the threshold accordingly so the
+  // classifier catches Shadowsocks' small first packet (IV + target header).
+  const double cap =
+      std::min(8.0, std::log2(static_cast<double>(payload.size())));
+  const double entropy = crypto::shannonEntropy(payload);
+  if (entropy >= thresholds.entropy_threshold_bits * cap / 8.0)
+    return FlowClass::kHighEntropy;
+
+  return FlowClass::kUnknown;
+}
+
+FlowClass classifyNonTcp(const net::Packet& pkt) {
+  switch (pkt.proto) {
+    case net::IpProto::kGre:
+      return FlowClass::kVpnPptp;
+    case net::IpProto::kEsp:
+      return FlowClass::kVpnL2tp;
+    case net::IpProto::kUdp:
+      if (pkt.udp().dst_port == 1701 || pkt.udp().src_port == 1701)
+        return FlowClass::kVpnL2tp;
+      if ((pkt.udp().dst_port == 1194 || pkt.udp().src_port == 1194) &&
+          !pkt.payload.empty() && pkt.payload[0] == 0x38)
+        return FlowClass::kOpenVpn;
+      return FlowClass::kUnknown;
+    default:
+      return FlowClass::kUnknown;
+  }
+}
+
+}  // namespace sc::gfw

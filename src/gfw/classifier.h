@@ -1,0 +1,56 @@
+// Deep packet inspection: stateless payload classifiers that turn the first
+// data-bearing packets of a flow into a protocol verdict. Everything here
+// reads only bytes a real wire tap would see.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+#include "util/bytes.h"
+
+namespace sc::gfw {
+
+enum class FlowClass : std::uint8_t {
+  kUnknown,
+  kPlainHttp,
+  kTls,            // ordinary TLS (browser fingerprint)
+  kTorTls,         // TLS whose fingerprint matches the Tor stack / meek
+  kVpnPptp,
+  kVpnL2tp,
+  kOpenVpn,
+  kHighEntropy,    // random-looking bytes with no recognized framing
+  kTextLike,       // printable, unrecognized (blinded-printable lands here)
+};
+
+const char* flowClassName(FlowClass cls);
+
+// Extracted ClientHello metadata (matches the TLS-sim wire format).
+struct TlsHelloInfo {
+  std::string sni;
+  std::string fingerprint;
+};
+std::optional<TlsHelloInfo> parseClientHello(ByteView payload);
+
+// Extracts the Host header value from a plaintext HTTP request prefix.
+std::optional<std::string> extractHttpHost(ByteView payload);
+
+struct ClassifierThresholds {
+  double entropy_threshold_bits = 7.0;
+  double printable_benign_fraction = 0.9;
+  std::size_t min_classify_bytes = 48;
+};
+
+// TLS fingerprints the GFW recognizes as circumvention stacks. The real GFW
+// learned Tor's cipher-suite list (Winter & Lindskog) and later meek's
+// quirks; we model that knowledge as a substring match.
+bool isTorLikeFingerprint(const std::string& fingerprint);
+
+// Classifies the first client->server payload of a TCP flow.
+FlowClass classifyTcpPayload(const net::Packet& pkt,
+                             const ClassifierThresholds& thresholds);
+
+// Classifies a non-TCP packet (GRE/ESP/UDP protocol fingerprints).
+FlowClass classifyNonTcp(const net::Packet& pkt);
+
+}  // namespace sc::gfw

@@ -1,0 +1,265 @@
+#include "gfw/gfw.h"
+
+#include "dns/message.h"
+
+namespace sc::gfw {
+
+Gfw::Gfw(net::Network& network, GfwConfig config)
+    : network_(network), config_(config) {}
+
+void Gfw::attachTo(net::Link& link, net::Direction outbound) {
+  outbound_ = outbound;
+  link.addFilter(this);
+  // Periodic flow-table garbage collection for day-long campaigns.
+  const auto gc = [this](auto&& self_ref) -> void {
+    gcFlows();
+    network_.sim().schedule(config_.flow_gc_interval,
+                            [this, self_ref] { self_ref(self_ref); });
+  };
+  network_.sim().schedule(config_.flow_gc_interval, [gc] { gc(gc); });
+}
+
+void Gfw::addKnownTorRelay(net::Ipv4 ip) {
+  if (config_.ip_blocking) ips_.add(ip);
+}
+
+void Gfw::enableActiveProbing(transport::HostStack& probe_stack) {
+  prober_ = std::make_unique<ActiveProber>(probe_stack, config_);
+}
+
+std::map<FlowClass, std::uint64_t> Gfw::flowClassCounts() const {
+  return class_counts_;
+}
+
+bool Gfw::isSuspectServer(net::Ipv4 ip) const {
+  const auto it = suspect_servers_.find(ip);
+  return it != suspect_servers_.end() && it->second > network_.sim().now();
+}
+
+void Gfw::gcFlows() {
+  const sim::Time now = network_.sim().now();
+  std::erase_if(flows_, [&](const auto& kv) {
+    return now - kv.second.last_seen > config_.flow_idle_timeout;
+  });
+  std::erase_if(suspect_servers_,
+                [&](const auto& kv) { return kv.second <= now; });
+}
+
+bool Gfw::endpointIsRegisteredIcp(const net::Packet& pkt, bool outbound) const {
+  if (!icp_lookup_) return false;
+  // The China-side endpoint is the source of outbound packets.
+  const net::Ipv4 domestic = outbound ? pkt.src : pkt.dst;
+  return icp_lookup_(domestic);
+}
+
+void Gfw::injectRst(const net::Packet& offending, net::Link& link,
+                    net::Direction dir) {
+  ++stats_.rst_injected;
+  const auto& t = offending.tcp();
+  // Forged RST toward the client (appears to come from the server)...
+  net::TcpFlags rst;
+  rst.rst = true;
+  net::Packet to_client = net::makeTcp(offending.dst, offending.src,
+                                       t.dst_port, t.src_port, rst, t.ack,
+                                       t.seq, {});
+  link.inject(net::reverse(dir), std::move(to_client));
+  // ...and toward the server (appears to come from the client).
+  net::Packet to_server = net::makeTcp(offending.src, offending.dst,
+                                       t.src_port, t.dst_port, rst,
+                                       t.seq + static_cast<std::uint32_t>(
+                                                   offending.payload.size()),
+                                       t.ack, {});
+  link.inject(dir, std::move(to_server));
+}
+
+void Gfw::maybePoisonDns(const net::Packet& pkt, net::Link& link,
+                         net::Direction dir) {
+  const auto query = dns::parseDns(pkt.payload);
+  if (!query || query->is_response || query->questions.empty()) return;
+  bool any_blocked = false;
+  for (const auto& q : query->questions) {
+    if (domains_.isBlocked(q.name)) {
+      any_blocked = true;
+      break;
+    }
+  }
+  if (!any_blocked) return;
+
+  ++stats_.dns_poisoned;
+  dns::Message forged;
+  forged.id = query->id;
+  forged.is_response = true;
+  for (const auto& q : query->questions) {
+    dns::Answer a;
+    a.name = q.name;
+    a.ttl_seconds = 300;
+    a.address = kPoisonAddress;
+    forged.answers.push_back(std::move(a));
+  }
+  net::Packet reply = net::makeUdp(pkt.dst, pkt.src, pkt.udp().dst_port,
+                                   pkt.udp().src_port,
+                                   dns::serializeDns(forged));
+  // Injected border-side: beats the genuine answer home by ~a trans-Pacific
+  // round trip, so the resolver's first-answer-wins logic takes the bait.
+  link.inject(net::reverse(dir), std::move(reply));
+}
+
+void Gfw::scheduleProbe(net::Endpoint server) {
+  if (prober_ == nullptr || !config_.active_probing) return;
+  if (!probed_servers_.insert(server.ip).second) return;  // already checked
+  ++stats_.probes_launched;
+  network_.sim().schedule(config_.probe_delay, [this, server] {
+    prober_->probe(server, [this, server](bool confirmed) {
+      if (!confirmed) return;
+      ++stats_.suspects_confirmed;
+      suspect_servers_[server.ip] =
+          network_.sim().now() + config_.suspect_block_ttl;
+    });
+  });
+}
+
+void Gfw::applyDiscipline(Flow& flow) {
+  switch (flow.cls) {
+    case FlowClass::kTorTls:
+      flow.drop_prob = config_.tor_discipline;
+      break;
+    case FlowClass::kHighEntropy:
+      flow.drop_prob = config_.unknown_discipline;
+      break;
+    case FlowClass::kVpnPptp:
+    case FlowClass::kVpnL2tp:
+    case FlowClass::kOpenVpn:
+      flow.drop_prob =
+          config_.block_vpn_protocols ? config_.vpn_block_discipline : 0.0;
+      break;
+    default:
+      flow.drop_prob = 0.0;
+      break;
+  }
+}
+
+void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
+                       net::Direction dir) {
+  ClassifierThresholds thresholds;
+  thresholds.entropy_threshold_bits = config_.entropy_threshold_bits;
+  thresholds.printable_benign_fraction = config_.printable_benign_fraction;
+  thresholds.min_classify_bytes = config_.min_classify_bytes;
+
+  FlowClass cls = pkt.isTcp() ? classifyTcpPayload(pkt, thresholds)
+                              : classifyNonTcp(pkt);
+  if (cls == FlowClass::kUnknown && pkt.isTcp()) return;  // wait for more data
+
+  flow.classified = true;
+  flow.cls = cls;
+  ++stats_.flows_classified;
+  ++class_counts_[cls];
+
+  const bool outbound = dir == outbound_;
+  const net::Endpoint server{outbound ? pkt.dst : pkt.src,
+                             outbound ? pkt.dstPort() : pkt.srcPort()};
+
+  switch (cls) {
+    case FlowClass::kPlainHttp: {
+      if (!config_.keyword_filtering) break;
+      const auto host = extractHttpHost(pkt.payload);
+      if (host.has_value() && !host->empty() && domains_.isBlocked(*host)) {
+        injectRst(pkt, link, dir);
+        flow.killed = true;
+      }
+      break;
+    }
+    case FlowClass::kTls:
+    case FlowClass::kTorTls: {
+      const auto hello = parseClientHello(pkt.payload);
+      if (config_.tls_sni_filtering && hello.has_value() &&
+          domains_.isBlocked(hello->sni)) {
+        injectRst(pkt, link, dir);
+        flow.killed = true;
+        break;
+      }
+      if (cls == FlowClass::kTorTls && config_.protocol_fingerprinting) {
+        applyDiscipline(flow);
+        if (!flow.probe_launched) {
+          flow.probe_launched = true;
+          scheduleProbe(server);
+        }
+      }
+      break;
+    }
+    case FlowClass::kHighEntropy: {
+      if (!config_.entropy_classification) break;
+      if (config_.registered_icp_leniency && !config_.throttle_all_unknown &&
+          endpointIsRegisteredIcp(pkt, outbound)) {
+        flow.lenient = true;
+        ++stats_.leniency_granted;
+        break;
+      }
+      applyDiscipline(flow);
+      if (!flow.probe_launched) {
+        flow.probe_launched = true;
+        scheduleProbe(server);
+      }
+      break;
+    }
+    case FlowClass::kVpnPptp:
+    case FlowClass::kVpnL2tp:
+    case FlowClass::kOpenVpn:
+      if (config_.protocol_fingerprinting) applyDiscipline(flow);
+      break;
+    case FlowClass::kTextLike:
+    default:
+      break;
+  }
+}
+
+net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
+                                         net::Link& link) {
+  ++stats_.packets_inspected;
+  const bool outbound = dir == outbound_;
+  const sim::Time now = network_.sim().now();
+
+  // 1. IP blocking.
+  if (config_.ip_blocking &&
+      (ips_.isBlocked(pkt.dst, now) || ips_.isBlocked(pkt.src, now))) {
+    ++stats_.ip_blocked;
+    return Verdict::kDrop;
+  }
+
+  // 2. DNS poisoning (outbound queries only).
+  if (config_.dns_poisoning && outbound && pkt.isUdp() &&
+      pkt.udp().dst_port == dns::kDnsPort) {
+    maybePoisonDns(pkt, link, dir);
+  }
+
+  // 3–5. Flow-level treatment.
+  net::FiveTuple key = pkt.fiveTuple();
+  if (!outbound) key = key.reversed();
+  Flow& flow = flows_[key];
+  flow.last_seen = now;
+  ++flow.packets;
+
+  if (flow.killed) return Verdict::kDrop;
+
+  if (!flow.classified && outbound && !pkt.payload.empty())
+    classifyFlow(flow, pkt, link, dir);
+
+  if (flow.killed) return Verdict::kDrop;
+
+  // Confirmed-suspect servers get disciplined from the first packet of any
+  // later flow, before DPI even sees a payload.
+  if (!flow.lenient && flow.drop_prob == 0.0) {
+    const net::Ipv4 server_ip = outbound ? pkt.dst : pkt.src;
+    if (isSuspectServer(server_ip) &&
+        !(config_.registered_icp_leniency &&
+          endpointIsRegisteredIcp(pkt, outbound)))
+      flow.drop_prob = config_.shadowsocks_discipline;
+  }
+
+  if (flow.drop_prob > 0.0 && network_.sim().rng().chance(flow.drop_prob)) {
+    ++stats_.disciplined_drops;
+    return Verdict::kDrop;
+  }
+  return Verdict::kPass;
+}
+
+}  // namespace sc::gfw

@@ -1,0 +1,36 @@
+// Active probing (Ensafi et al., "Examining How the Great Firewall Discovers
+// Hidden Circumvention Servers"): when DPI flags a flow as suspicious, the
+// GFW connects to the suspected server itself and watches how it behaves.
+//
+// Decision rule modeled here: a server that answers garbage with *anything*
+// (TLS alert, HTTP 400, RST banner...) is exonerated; a server that accepts
+// the connection and then stays mute or closes silently — the signature of
+// Shadowsocks servers and blinded-tunnel endpoints — is confirmed.
+#pragma once
+
+#include <functional>
+
+#include "gfw/config.h"
+#include "transport/host_stack.h"
+
+namespace sc::gfw {
+
+class ActiveProber {
+ public:
+  ActiveProber(transport::HostStack& stack, const GfwConfig& config)
+      : stack_(stack), config_(config) {}
+
+  using ProbeCallback = std::function<void(bool confirmed)>;
+  void probe(net::Endpoint target, ProbeCallback cb);
+
+  std::uint64_t probesSent() const noexcept { return probes_sent_; }
+  std::uint64_t probesConfirmed() const noexcept { return probes_confirmed_; }
+
+ private:
+  transport::HostStack& stack_;
+  const GfwConfig& config_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_confirmed_ = 0;
+};
+
+}  // namespace sc::gfw

@@ -1,0 +1,27 @@
+// Minimal async HTTP client: one request/response exchange on an existing
+// stream, with a timeout. The Browser builds richer behaviour (pools, PAC,
+// redirects, caching) on top; methods (meek, ScholarCloud tunnel control,
+// the GFW's active prober) use this directly.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "http/message.h"
+#include "sim/simulator.h"
+#include "transport/stream.h"
+
+namespace sc::http {
+
+class HttpClient {
+ public:
+  using FetchCb = std::function<void(std::optional<Response>)>;
+
+  // Sends `req` on `stream` and invokes `cb` with the first complete
+  // response, or nullopt on close/timeout/parse error. Leaves the stream's
+  // handlers cleared afterwards so it can be pooled or reused.
+  static void fetchOn(transport::Stream::Ptr stream, sim::Simulator& sim,
+                      Request req, sim::Time timeout, FetchCb cb);
+};
+
+}  // namespace sc::http

@@ -1,0 +1,188 @@
+#include "http/message.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace sc::http {
+
+void Headers::set(const std::string& key, std::string value) {
+  map_[toLower(key)] = std::move(value);
+}
+
+std::optional<std::string> Headers::get(const std::string& key) const {
+  const auto it = map_.find(toLower(key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Headers::has(const std::string& key) const {
+  return map_.contains(toLower(key));
+}
+
+std::string Request::host() const { return headers.get("host").value_or(""); }
+
+namespace {
+void appendHeaders(std::string& out, const Headers& headers,
+                   std::size_t body_size) {
+  for (const auto& [k, v] : headers.all()) out += k + ": " + v + "\r\n";
+  if (body_size > 0 || !headers.has("content-length"))
+    out += "content-length: " + std::to_string(body_size) + "\r\n";
+  out += "\r\n";
+}
+}  // namespace
+
+Bytes Request::serialize() const {
+  std::string head = method + " " + target + " HTTP/1.1\r\n";
+  appendHeaders(head, headers, body.size());
+  Bytes out = toBytes(head);
+  appendBytes(out, body);
+  return out;
+}
+
+Bytes Response::serialize() const {
+  std::string head =
+      "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  appendHeaders(head, headers, body.size());
+  Bytes out = toBytes(head);
+  appendBytes(out, body);
+  return out;
+}
+
+std::string statusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 429: return "Too Many Requests";
+    case 502: return "Bad Gateway";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+bool parseStartLine(const std::string& line, Request& req) {
+  const auto parts = splitString(line, ' ');
+  if (parts.size() != 3) return false;
+  req.method = parts[0];
+  req.target = parts[1];
+  return startsWith(parts[2], "HTTP/");
+}
+
+bool parseStartLine(const std::string& line, Response& resp) {
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos || !startsWith(line, "HTTP/")) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string code = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  int status = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status);
+  if (ec != std::errc{} || ptr != code.data() + code.size()) return false;
+  resp.status = status;
+  resp.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+  return true;
+}
+
+Headers& headersOf(Request& r) { return r.headers; }
+Headers& headersOf(Response& r) { return r.headers; }
+Bytes& bodyOf(Request& r) { return r.body; }
+Bytes& bodyOf(Response& r) { return r.body; }
+}  // namespace
+
+template <typename Message>
+bool MessageParser<Message>::tryParseHeader() {
+  // Find end of header block.
+  static constexpr char kSep[] = "\r\n\r\n";
+  const std::string view(reinterpret_cast<const char*>(buffer_.data()),
+                         buffer_.size());
+  const auto pos = view.find(kSep);
+  if (pos == std::string::npos) {
+    if (buffer_.size() > 64 * 1024) malformed_ = true;  // header bomb
+    return false;
+  }
+
+  Message msg;
+  const auto lines = splitString(std::string_view(view).substr(0, pos), '\n');
+  bool first = true;
+  for (auto raw : lines) {
+    std::string line(trimWhitespace(raw));
+    if (line.empty()) continue;
+    if (first) {
+      if (!parseStartLine(line, msg)) {
+        malformed_ = true;
+        return false;
+      }
+      first = false;
+      continue;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      malformed_ = true;
+      return false;
+    }
+    headersOf(msg).set(std::string(trimWhitespace(line.substr(0, colon))),
+                       std::string(trimWhitespace(line.substr(colon + 1))));
+  }
+  if (first) {
+    malformed_ = true;
+    return false;
+  }
+
+  body_needed_ = 0;
+  if (const auto cl = headersOf(msg).get("content-length")) {
+    std::size_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), n);
+    if (ec != std::errc{} || n > 256 * 1024 * 1024) {
+      malformed_ = true;
+      return false;
+    }
+    body_needed_ = n;
+  }
+  partial_ = std::move(msg);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 4));
+  return true;
+}
+
+template <typename Message>
+std::vector<Message> MessageParser<Message>::feed(ByteView data) {
+  std::vector<Message> complete;
+  if (malformed_) return complete;
+  appendBytes(buffer_, data);
+
+  while (!malformed_) {
+    if (!partial_.has_value()) {
+      if (!tryParseHeader()) break;
+    }
+    if (buffer_.size() < body_needed_) break;
+    Message msg = std::move(*partial_);
+    partial_.reset();
+    bodyOf(msg).assign(
+        buffer_.begin(),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(body_needed_));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(body_needed_));
+    body_needed_ = 0;
+    complete.push_back(std::move(msg));
+  }
+  return complete;
+}
+
+template <typename Message>
+void MessageParser<Message>::reset() {
+  buffer_.clear();
+  partial_.reset();
+  body_needed_ = 0;
+  malformed_ = false;
+}
+
+template class MessageParser<Request>;
+template class MessageParser<Response>;
+
+}  // namespace sc::http

@@ -1,0 +1,72 @@
+// HTTP/1.1 messages and an incremental parser (header block + Content-Length
+// framing). Requests travel in plaintext unless wrapped in TLS, so the GFW's
+// keyword filter can read Host lines and URLs on port 80 — one of the
+// blocking mechanisms the paper lists.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/url.h"
+#include "util/bytes.h"
+
+namespace sc::http {
+
+// Case-insensitive header map would be ideal; we normalize keys to
+// canonical lowercase on insert instead, which keeps lookups trivial.
+class Headers {
+ public:
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  const std::map<std::string, std::string>& all() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";  // origin-form, absolute-form, or authority-form
+  Headers headers;
+  Bytes body;
+
+  std::string host() const;  // from Host header
+  Bytes serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Bytes body;
+
+  Bytes serialize() const;
+};
+
+// Incremental parser usable for both directions.
+template <typename Message>
+class MessageParser {
+ public:
+  // Feeds bytes; returns completed messages (possibly several on pipelining).
+  std::vector<Message> feed(ByteView data);
+  bool malformed() const noexcept { return malformed_; }
+  void reset();
+
+ private:
+  bool tryParseHeader();
+
+  Bytes buffer_;
+  std::optional<Message> partial_;
+  std::size_t body_needed_ = 0;
+  bool malformed_ = false;
+};
+
+using RequestParser = MessageParser<Request>;
+using ResponseParser = MessageParser<Response>;
+
+std::string statusReason(int status);
+
+}  // namespace sc::http

@@ -1,0 +1,60 @@
+// Web origins: the simulated Google Scholar (and other sites) that the
+// measurement clients fetch.
+//
+// The homepage body embeds a subresource manifest ("RES <url> <size>" lines)
+// plus, when account recording is enabled, an "ACCOUNT <url>" line — this is
+// how the browser learns about Fig. 4's TCP-3 (content) and TCP-4 (client
+// IP / Google-account recording, first visit only) connections. The plain
+// HTTP listener answers every request with a 301 to HTTPS, producing Fig. 4's
+// TCP-2 (HTTPS redirection) on a user's first, scheme-less navigation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/server.h"
+
+namespace sc::http {
+
+struct PageSpec {
+  std::string host = "scholar.google.com";
+  std::size_t html_size = 6 * 1024;
+  struct Sub {
+    std::string path;
+    std::size_t size;
+  };
+  std::vector<Sub> subresources;
+  bool account_recording = true;
+
+  // The Scholar-like default page used throughout the evaluation; sizes are
+  // chosen so a full direct access moves ~19 KB on the wire (Fig. 6a).
+  static PageSpec scholarDefault();
+  // A plain non-blocked US site (the paper's Amazon control).
+  static PageSpec simpleUsSite(const std::string& host);
+};
+
+class WebOrigin {
+ public:
+  WebOrigin(transport::HostStack& stack, PageSpec spec);
+
+  const PageSpec& spec() const noexcept { return spec_; }
+  std::uint64_t pageViews() const noexcept { return page_views_; }
+  std::uint64_t accountRecords() const noexcept { return account_records_; }
+  HttpServer& httpsServer() noexcept { return *https_; }
+  HttpServer& httpServer() noexcept { return *http_; }
+
+ private:
+  Bytes buildHomepage() const;
+  Bytes buildBlob(std::size_t size, const std::string& seed) const;
+  static std::string etagFor(const std::string& path);
+
+  transport::HostStack& stack_;
+  PageSpec spec_;
+  std::unique_ptr<HttpServer> http_;   // port 80: redirects to https
+  std::unique_ptr<HttpServer> https_;  // port 443: content
+  std::uint64_t page_views_ = 0;
+  std::uint64_t account_records_ = 0;
+};
+
+}  // namespace sc::http

@@ -1,0 +1,135 @@
+#include "http/pac.h"
+
+#include "util/strings.h"
+
+namespace sc::http {
+
+void PacScript::addDomainRule(const std::string& domain,
+                              ProxyDecision decision) {
+  rules_.push_back(Rule{Predicate::kDnsDomainIs, domain, decision});
+}
+
+void PacScript::addGlobRule(const std::string& glob, ProxyDecision decision) {
+  rules_.push_back(Rule{Predicate::kShExpMatch, glob, decision});
+}
+
+ProxyDecision PacScript::evaluate(const std::string& host) const {
+  for (const auto& rule : rules_) {
+    const bool match = rule.predicate == Predicate::kDnsDomainIs
+                           ? dnsDomainIs(host, rule.pattern)
+                           : shExpMatch(host, rule.pattern);
+    if (match) return rule.decision;
+  }
+  return default_;
+}
+
+namespace {
+std::string decisionText(const ProxyDecision& d) {
+  switch (d.kind) {
+    case ProxyKind::kDirect:
+      return "DIRECT";
+    case ProxyKind::kHttpProxy:
+      return "PROXY " + d.proxy.str();
+    case ProxyKind::kSocks:
+      return "SOCKS " + d.proxy.str();
+  }
+  return "DIRECT";
+}
+
+std::optional<ProxyDecision> parseDecision(std::string_view text) {
+  text = trimWhitespace(text);
+  if (text == "DIRECT") return ProxyDecision::direct();
+  const auto space = text.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = text.substr(0, space);
+  const std::string_view addr = trimWhitespace(text.substr(space + 1));
+  const auto colon = addr.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto ip = net::Ipv4::parse(addr.substr(0, colon));
+  if (!ip) return std::nullopt;
+  int port = 0;
+  for (char c : addr.substr(colon + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  const net::Endpoint ep{*ip, static_cast<net::Port>(port)};
+  if (kind == "PROXY") return ProxyDecision::httpProxy(ep);
+  if (kind == "SOCKS" || kind == "SOCKS5") return ProxyDecision::socks(ep);
+  return std::nullopt;
+}
+}  // namespace
+
+std::string PacScript::toJavaScript() const {
+  std::string js = "function FindProxyForURL(url, host) {\n";
+  for (const auto& rule : rules_) {
+    const char* fn = rule.predicate == Predicate::kDnsDomainIs
+                         ? "dnsDomainIs"
+                         : "shExpMatch";
+    js += "  if (" + std::string(fn) + "(host, \"" + rule.pattern +
+          "\")) return \"" + decisionText(rule.decision) + "\";\n";
+  }
+  js += "  return \"" + decisionText(default_) + "\";\n}\n";
+  return js;
+}
+
+std::optional<PacScript> PacScript::parseJavaScript(std::string_view text) {
+  PacScript script;
+  bool saw_function = false;
+  bool saw_default = false;
+  for (const auto& raw_line : splitString(text, '\n')) {
+    const std::string_view line = trimWhitespace(raw_line);
+    if (line.empty() || line == "}") continue;
+    if (startsWith(line, "function FindProxyForURL")) {
+      saw_function = true;
+      continue;
+    }
+    if (startsWith(line, "if (")) {
+      // if (<pred>(host, "<pattern>")) return "<decision>";
+      const auto open = line.find('(');
+      const auto pred_end = line.find('(', open + 1);
+      if (pred_end == std::string_view::npos) return std::nullopt;
+      const std::string_view pred_name =
+          trimWhitespace(line.substr(open + 1, pred_end - open - 1));
+      Predicate pred;
+      if (pred_name == "dnsDomainIs") {
+        pred = Predicate::kDnsDomainIs;
+      } else if (pred_name == "shExpMatch") {
+        pred = Predicate::kShExpMatch;
+      } else {
+        return std::nullopt;
+      }
+      const auto q1 = line.find('"', pred_end);
+      const auto q2 = line.find('"', q1 + 1);
+      if (q1 == std::string_view::npos || q2 == std::string_view::npos)
+        return std::nullopt;
+      const std::string pattern(line.substr(q1 + 1, q2 - q1 - 1));
+      const auto ret = line.find("return", q2);
+      const auto q3 = line.find('"', ret);
+      const auto q4 = line.find('"', q3 + 1);
+      if (ret == std::string_view::npos || q3 == std::string_view::npos ||
+          q4 == std::string_view::npos)
+        return std::nullopt;
+      const auto decision = parseDecision(line.substr(q3 + 1, q4 - q3 - 1));
+      if (!decision) return std::nullopt;
+      script.rules_.push_back(Rule{pred, pattern, *decision});
+      continue;
+    }
+    if (startsWith(line, "return")) {
+      const auto q1 = line.find('"');
+      const auto q2 = line.find('"', q1 + 1);
+      if (q1 == std::string_view::npos || q2 == std::string_view::npos)
+        return std::nullopt;
+      const auto decision = parseDecision(line.substr(q1 + 1, q2 - q1 - 1));
+      if (!decision) return std::nullopt;
+      script.default_ = *decision;
+      saw_default = true;
+      continue;
+    }
+    return std::nullopt;  // anything else is outside the dialect
+  }
+  if (!saw_function || !saw_default) return std::nullopt;
+  return script;
+}
+
+}  // namespace sc::http

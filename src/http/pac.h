@@ -1,0 +1,70 @@
+// Proxy auto-config (PAC): how ScholarCloud configures browsers (§3).
+//
+// The domestic proxy serves a PAC file; the user points their browser at its
+// URL (the one setting they ever touch). The PAC diverts only whitelisted,
+// incidentally-blocked domains to the proxy — everything else goes DIRECT —
+// which is both the usability trick and the legalization story (agencies can
+// audit the visible whitelist).
+//
+// PacScript both *generates* real PAC JavaScript and *parses back* the
+// restricted dialect it generates (dnsDomainIs / shExpMatch conditions), so
+// the simulated browser consumes the same artifact a real browser would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace sc::http {
+
+enum class ProxyKind { kDirect, kHttpProxy, kSocks };
+
+struct ProxyDecision {
+  ProxyKind kind = ProxyKind::kDirect;
+  net::Endpoint proxy;
+
+  static ProxyDecision direct() { return {}; }
+  static ProxyDecision httpProxy(net::Endpoint ep) {
+    return ProxyDecision{ProxyKind::kHttpProxy, ep};
+  }
+  static ProxyDecision socks(net::Endpoint ep) {
+    return ProxyDecision{ProxyKind::kSocks, ep};
+  }
+  bool operator==(const ProxyDecision&) const = default;
+};
+
+class PacScript {
+ public:
+  enum class Predicate { kDnsDomainIs, kShExpMatch };
+  struct Rule {
+    Predicate predicate = Predicate::kDnsDomainIs;
+    std::string pattern;
+    ProxyDecision decision;
+  };
+
+  void addDomainRule(const std::string& domain, ProxyDecision decision);
+  void addGlobRule(const std::string& glob, ProxyDecision decision);
+  void setDefault(ProxyDecision decision) { default_ = decision; }
+
+  ProxyDecision evaluate(const std::string& host) const;
+
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+  ProxyDecision defaultDecision() const noexcept { return default_; }
+
+  // Emits a real FindProxyForURL() definition.
+  std::string toJavaScript() const;
+
+  // Parses the restricted dialect emitted by toJavaScript(). Returns nullopt
+  // on anything outside the dialect (the browser then falls back to DIRECT,
+  // like real browsers do on broken PAC files).
+  static std::optional<PacScript> parseJavaScript(std::string_view text);
+
+ private:
+  std::vector<Rule> rules_;
+  ProxyDecision default_;
+};
+
+}  // namespace sc::http

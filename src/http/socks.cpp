@@ -1,0 +1,191 @@
+#include "http/socks.h"
+
+namespace sc::http {
+
+Bytes socksGreeting() { return Bytes{0x05, 0x01, 0x00}; }
+Bytes socksGreetingReply() { return Bytes{0x05, 0x00}; }
+
+Bytes socksRequest(const transport::ConnectTarget& target) {
+  Bytes out{0x05, 0x01, 0x00};
+  if (target.byName()) {
+    appendU8(out, 0x03);
+    appendU8(out, static_cast<std::uint8_t>(target.host.size()));
+    appendBytes(out, toBytes(target.host));
+  } else {
+    appendU8(out, 0x01);
+    appendU32(out, target.ip.v);
+  }
+  appendU16(out, target.port);
+  return out;
+}
+
+Bytes socksReply(bool ok) {
+  Bytes out{0x05, static_cast<std::uint8_t>(ok ? 0x00 : 0x05), 0x00, 0x01};
+  appendU32(out, 0);
+  appendU16(out, 0);
+  return out;
+}
+
+namespace {
+
+// Per-connection client handshake state machine.
+class ClientHandshake : public std::enable_shared_from_this<ClientHandshake> {
+ public:
+  ClientHandshake(transport::ConnectTarget target,
+                  transport::Connector::ConnectHandler cb)
+      : target_(std::move(target)), cb_(std::move(cb)) {}
+
+  void start(transport::Stream::Ptr stream) {
+    stream_ = std::move(stream);
+    if (stream_ == nullptr) return fail();
+    auto self = shared_from_this();
+    stream_->setOnData([self](ByteView data) { self->onData(data); });
+    stream_->setOnClose([self] { self->fail(); });
+    stream_->send(socksGreeting());
+  }
+
+ private:
+  void onData(ByteView data) {
+    appendBytes(buffer_, data);
+    if (stage_ == 0) {
+      if (buffer_.size() < 2) return;
+      if (buffer_[0] != 0x05 || buffer_[1] != 0x00) return fail();
+      buffer_.erase(buffer_.begin(), buffer_.begin() + 2);
+      stage_ = 1;
+      stream_->send(socksRequest(target_));
+    }
+    if (stage_ == 1) {
+      if (buffer_.size() < 10) return;
+      if (buffer_[0] != 0x05 || buffer_[1] != 0x00) return fail();
+      buffer_.erase(buffer_.begin(), buffer_.begin() + 10);
+      stage_ = 2;
+      // Handshake complete: detach our handlers and hand over the stream.
+      stream_->setOnData(nullptr);
+      stream_->setOnClose(nullptr);
+      auto cb = std::move(cb_);
+      cb(std::move(stream_));
+    }
+  }
+
+  void fail() {
+    if (stage_ == 2) return;
+    stage_ = 2;
+    if (stream_ != nullptr) {
+      stream_->setOnData(nullptr);
+      stream_->setOnClose(nullptr);
+      stream_->close();
+      stream_ = nullptr;
+    }
+    if (auto cb = std::move(cb_)) cb(nullptr);
+  }
+
+  transport::ConnectTarget target_;
+  transport::Connector::ConnectHandler cb_;
+  transport::Stream::Ptr stream_;
+  Bytes buffer_;
+  int stage_ = 0;
+};
+
+}  // namespace
+
+void SocksConnector::connect(transport::ConnectTarget target,
+                             ConnectHandler cb) {
+  auto handshake =
+      std::make_shared<ClientHandshake>(std::move(target), std::move(cb));
+  auto direct = stack_.directConnector(tag_);
+  direct->connect(transport::ConnectTarget::byAddress(proxy_),
+                  [handshake](transport::Stream::Ptr stream) {
+                    if (stream == nullptr) {
+                      // Propagate failure through the handshake's callback.
+                      handshake->start(nullptr);
+                      return;
+                    }
+                    handshake->start(std::move(stream));
+                  });
+}
+
+namespace {
+
+class ServerSession : public std::enable_shared_from_this<ServerSession> {
+ public:
+  ServerSession(transport::Stream::Ptr client,
+                SocksServer::RequestHandler& handler)
+      : client_(std::move(client)), handler_(handler) {}
+
+  void start() {
+    auto self = shared_from_this();
+    client_->setOnData([self](ByteView data) { self->onData(data); });
+    client_->setOnClose([self] { self->closed_ = true; });
+  }
+
+ private:
+  void onData(ByteView data) {
+    appendBytes(buffer_, data);
+    if (stage_ == 0) {
+      if (buffer_.size() < 2) return;
+      const std::size_t nmethods = buffer_[1];
+      if (buffer_.size() < 2 + nmethods) return;
+      if (buffer_[0] != 0x05) return abort();
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + 2 + static_cast<std::ptrdiff_t>(nmethods));
+      client_->send(socksGreetingReply());
+      stage_ = 1;
+    }
+    if (stage_ == 1) {
+      if (buffer_.size() < 5) return;
+      if (buffer_[0] != 0x05 || buffer_[1] != 0x01) return abort();
+      const std::uint8_t atyp = buffer_[3];
+      transport::ConnectTarget target;
+      std::size_t consumed = 0;
+      if (atyp == 0x01) {
+        if (buffer_.size() < 10) return;
+        target.ip = net::Ipv4(std::uint32_t{buffer_[4]} << 24 |
+                              std::uint32_t{buffer_[5]} << 16 |
+                              std::uint32_t{buffer_[6]} << 8 | buffer_[7]);
+        target.port = static_cast<net::Port>(buffer_[8] << 8 | buffer_[9]);
+        consumed = 10;
+      } else if (atyp == 0x03) {
+        const std::size_t len = buffer_[4];
+        if (buffer_.size() < 5 + len + 2) return;
+        target.host.assign(buffer_.begin() + 5,
+                           buffer_.begin() + 5 + static_cast<std::ptrdiff_t>(len));
+        target.port = static_cast<net::Port>(buffer_[5 + len] << 8 |
+                                             buffer_[5 + len + 1]);
+        consumed = 5 + len + 2;
+      } else {
+        return abort();
+      }
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      stage_ = 2;
+      // Detach: the request handler takes over the stream.
+      client_->setOnData(nullptr);
+      client_->setOnClose(nullptr);
+      auto client = client_;
+      handler_(std::move(target), client, [client](bool ok) {
+        client->send(socksReply(ok));
+        if (!ok) client->close();
+      });
+    }
+  }
+
+  void abort() {
+    stage_ = 2;
+    client_->send(socksReply(false));
+    client_->close();
+  }
+
+  transport::Stream::Ptr client_;
+  SocksServer::RequestHandler& handler_;
+  Bytes buffer_;
+  int stage_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+void SocksServer::accept(transport::Stream::Ptr client) {
+  std::make_shared<ServerSession>(std::move(client), handler_)->start();
+}
+
+}  // namespace sc::http

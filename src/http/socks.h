@@ -1,0 +1,60 @@
+// SOCKS5 (RFC 1928, no-auth subset): the local-proxy protocol spoken by
+// browsers to ss-local (Shadowsocks) and to the Tor client's socks port.
+//
+// Faithful wire shape: version/method greeting, then a CONNECT request with
+// ATYP 0x01 (IPv4) or 0x03 (domain name). Domain-form requests are the
+// detail that matters for censorship: name resolution happens at the far
+// proxy, out of reach of the GFW's DNS poisoner.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "transport/host_stack.h"
+#include "transport/stream.h"
+
+namespace sc::http {
+
+// Client side: a Connector that tunnels through a SOCKS5 proxy.
+class SocksConnector final : public transport::Connector,
+                             public std::enable_shared_from_this<SocksConnector> {
+ public:
+  SocksConnector(transport::HostStack& stack, net::Endpoint proxy,
+                 std::uint32_t measure_tag = 0)
+      : stack_(stack), proxy_(proxy), tag_(measure_tag) {}
+
+  void connect(transport::ConnectTarget target, ConnectHandler cb) override;
+
+ private:
+  transport::HostStack& stack_;
+  net::Endpoint proxy_;
+  std::uint32_t tag_;
+};
+
+// Server side: parses the greeting + request on an accepted stream, then
+// hands the target to the callback. The callback must invoke `respond`
+// exactly once; on success the raw client stream (already drained of SOCKS
+// bytes) is ready for bridging to the upstream connection.
+class SocksServer {
+ public:
+  using RequestHandler = std::function<void(
+      transport::ConnectTarget target, transport::Stream::Ptr client,
+      std::function<void(bool ok)> respond)>;
+
+  explicit SocksServer(RequestHandler handler)
+      : handler_(std::move(handler)) {}
+
+  // Call for every accepted TCP stream on the SOCKS port.
+  void accept(transport::Stream::Ptr client);
+
+ private:
+  RequestHandler handler_;
+};
+
+// Wire helpers shared by both sides (exposed for tests).
+Bytes socksGreeting();
+Bytes socksGreetingReply();
+Bytes socksRequest(const transport::ConnectTarget& target);
+Bytes socksReply(bool ok);
+
+}  // namespace sc::http

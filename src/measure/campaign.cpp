@@ -1,0 +1,184 @@
+#include "measure/campaign.h"
+
+namespace sc::measure {
+
+namespace {
+// Rough connections-per-access estimate per method (used by the memory
+// model): main + subresources + method-specific extras.
+int connectionsPerAccess(Method m) {
+  switch (m) {
+    case Method::kShadowsocks: return 9;  // + auth connection
+    case Method::kTor: return 8;
+    case Method::kScholarCloud: return 7;
+    default: return 8;  // http redirect + https main + subresources + record
+  }
+}
+}  // namespace
+
+CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
+                                 CampaignOptions options) {
+  CampaignResult result;
+  result.method = method;
+  result.connections_estimate = connectionsPerAccess(method);
+
+  auto& sim = tb.sim();
+  bool ready = false, ready_result = false;
+  auto& client = tb.addClient(method, tag, [&](bool ok) {
+    ready = true;
+    ready_result = ok;
+  });
+  sim.runWhile([&] { return ready; }, sim.now() + options.setup_timeout);
+  result.setup_ok = ready && ready_result;
+  if (!result.setup_ok) return result;
+
+  // ScholarCloud's GFW-crossing leg is the proxies' tunnel; fold its loss in.
+  const bool include_tunnel = method == Method::kScholarCloud;
+  const auto stats_before = tb.network().tagStats(tag);
+  const auto tunnel_before = tb.network().tagStats(Testbed::kScTunnelTag);
+  const std::uint64_t bytes_before = client.accessLinkBytes();
+  Samples plt_first, plt_sub, rtt;
+  int done_accesses = 0;
+
+  const sim::Time t0 = sim.now() + sim::kSecond;
+  for (int i = 0; i < options.accesses; ++i) {
+    sim.scheduleAt(t0 + static_cast<sim::Time>(i) * options.interval, [&,
+                                                                       i] {
+      if (options.cold_cache) client.browser->clearCaches();
+      client.browser->loadPage(options.host, [&](http::PageLoadResult r) {
+        ++done_accesses;
+        if (!r.ok) {
+          ++result.failures;
+          return;
+        }
+        ++result.successes;
+        (r.first_visit ? plt_first : plt_sub).add(sim::toSeconds(r.plt));
+      });
+    });
+    if (options.measure_rtt && i % 2 == 1) {
+      sim.scheduleAt(
+          t0 + static_cast<sim::Time>(i) * options.interval +
+              options.interval / 2,
+          [&] {
+            client.browser->pingOrigin(options.host,
+                                       [&](std::optional<sim::Time> t) {
+                                         if (t.has_value())
+                                           rtt.add(sim::toMillis(*t));
+                                       });
+          });
+    }
+  }
+
+  const sim::Time deadline = t0 +
+                             static_cast<sim::Time>(options.accesses + 2) *
+                                 options.interval +
+                             2 * sim::kMinute;
+  sim.runWhile([&] { return done_accesses >= options.accesses; }, deadline);
+  sim.runUntil(sim.now() + 5 * sim::kSecond);  // drain stragglers
+
+  result.plt_first_s = plt_first.summarize();
+  result.plt_sub_s = plt_sub.summarize();
+  result.rtt_ms = rtt.summarize();
+  std::uint64_t originated = 0, lost = 0;
+  if (include_tunnel) {
+    // Only the proxies' tunnel crosses the GFW; the campus hop is lossless
+    // and would just dilute the number the paper reports.
+    const auto tunnel_after = tb.network().tagStats(Testbed::kScTunnelTag);
+    originated = tunnel_after.originated - tunnel_before.originated;
+    lost = tunnel_after.lostTotal() - tunnel_before.lostTotal();
+  } else {
+    const auto stats_after = tb.network().tagStats(tag);
+    originated = stats_after.originated - stats_before.originated;
+    lost = stats_after.lostTotal() - stats_before.lostTotal();
+  }
+  result.plr_pct = originated == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(lost) /
+                                         static_cast<double>(originated);
+  result.client_bytes = client.accessLinkBytes() - bytes_before;
+  const int denom = std::max(1, result.successes + result.failures);
+  result.traffic_kb_per_access =
+      static_cast<double>(result.client_bytes) / 1024.0 / denom;
+  return result;
+}
+
+std::vector<ScalabilityPoint> runScalability(Method method,
+                                             ScalabilityOptions options) {
+  std::vector<ScalabilityPoint> points;
+  for (const int n_clients : options.client_counts) {
+    TestbedOptions topts;
+    topts.seed = options.seed + static_cast<std::uint64_t>(n_clients);
+    Testbed tb(topts);
+    auto& sim = tb.sim();
+
+    struct ClientState {
+      Testbed::Client* client = nullptr;
+      bool ready = false;
+      bool ok = false;
+    };
+    std::vector<ClientState> states(static_cast<std::size_t>(n_clients));
+    for (int i = 0; i < n_clients; ++i) {
+      auto& st = states[static_cast<std::size_t>(i)];
+      st.client = &tb.addClient(method, 1000u + static_cast<std::uint32_t>(i),
+                                [&st](bool ok) {
+                                  st.ready = true;
+                                  st.ok = ok;
+                                });
+    }
+    sim.runWhile(
+        [&] {
+          for (const auto& st : states)
+            if (!st.ready) return false;
+          return true;
+        },
+        sim.now() + 5 * sim::kMinute);
+
+    Samples plt;
+    int failures = 0;
+    int completed = 0;
+    const int total_expected = n_clients * options.accesses_per_client;
+
+    // Stagger client start so arrivals are spread across the think time.
+    const sim::Time t0 = sim.now() + sim::kSecond;
+    for (int i = 0; i < n_clients; ++i) {
+      auto& st = states[static_cast<std::size_t>(i)];
+      if (!st.ok) {
+        failures += options.accesses_per_client;
+        completed += options.accesses_per_client;
+        continue;
+      }
+      const sim::Time offset =
+          options.think_time * static_cast<sim::Time>(i) /
+          std::max(1, n_clients);
+      for (int a = 0; a < options.accesses_per_client; ++a) {
+        sim.scheduleAt(
+            t0 + offset + static_cast<sim::Time>(a) * options.think_time,
+            [&, i] {
+              auto* browser = states[static_cast<std::size_t>(i)].client->browser.get();
+              browser->clearCaches();  // fresh session per access
+              browser->loadPage(
+                  Testbed::kScholarHost, [&](http::PageLoadResult r) {
+                    ++completed;
+                    if (!r.ok) {
+                      ++failures;
+                      return;
+                    }
+                    plt.add(sim::toSeconds(r.plt));
+                  });
+            });
+      }
+    }
+
+    const sim::Time deadline =
+        t0 +
+        static_cast<sim::Time>(options.accesses_per_client + 4) *
+            options.think_time +
+        3 * sim::kMinute;
+    sim.runWhile([&] { return completed >= total_expected; }, deadline);
+
+    const Summary s = plt.summarize();
+    points.push_back(
+        ScalabilityPoint{n_clients, s.mean, s.p95, failures});
+  }
+  return points;
+}
+
+}  // namespace sc::measure

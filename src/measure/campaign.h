@@ -1,0 +1,65 @@
+// Measurement campaigns — the §4.2 methodology, automated:
+//   "we automate the web browser to send HTTP requests for the home page of
+//    Google Scholar every 60 sec ... each experiment lasts for a whole day."
+//
+// runAccessCampaign drives one client of one method through n accesses and
+// collects everything Figs. 5 and 6 need. runScalability reproduces Fig. 7's
+// concurrent-client sweep against fresh testbeds.
+#pragma once
+
+#include "measure/stats.h"
+#include "measure/testbed.h"
+
+namespace sc::measure {
+
+struct CampaignOptions {
+  int accesses = 120;                     // scaled-down "day" by default
+  sim::Time interval = 60 * sim::kSecond;  // paper cadence
+  std::string host = Testbed::kScholarHost;
+  bool measure_rtt = true;                 // interleave RTT probes
+  // Clear browser caches before every access: each load transfers the full
+  // page, matching the per-access transfer sizes Fig. 6a reports.
+  bool cold_cache = false;
+  sim::Time setup_timeout = 2 * sim::kMinute;
+};
+
+struct CampaignResult {
+  Method method = Method::kDirect;
+  bool setup_ok = false;
+  int successes = 0;
+  int failures = 0;
+  Summary plt_first_s;   // first-visit page load times (seconds)
+  Summary plt_sub_s;     // subsequent page load times (seconds)
+  Summary rtt_ms;        // RTT probes (milliseconds)
+  double plr_pct = 0;    // packet loss rate over the campaign (%)
+  double traffic_kb_per_access = 0;  // client access-link bytes per access
+  std::uint64_t client_bytes = 0;
+  int connections_estimate = 0;  // rough per-access connection count
+};
+
+CampaignResult runAccessCampaign(Testbed& testbed, Method method,
+                                 std::uint32_t tag,
+                                 CampaignOptions options = {});
+
+struct ScalabilityPoint {
+  int clients = 0;
+  double plt_mean_s = 0;
+  double plt_p95_s = 0;
+  int failures = 0;
+};
+
+struct ScalabilityOptions {
+  std::vector<int> client_counts = {5, 15, 30, 60, 90, 120, 150, 180};
+  int accesses_per_client = 6;
+  // Fresh session per access (caches/pools cleared): each client-access
+  // brings the full connection + auth work to the server, which is what the
+  // paper's concurrency sweep stresses.
+  sim::Time think_time = 10 * sim::kSecond;  // between a client's accesses
+  std::uint64_t seed = 42;
+};
+
+// Builds a fresh testbed per point (cold caches except each client's own).
+std::vector<ScalabilityPoint> runScalability(Method method,
+                                             ScalabilityOptions options = {});
+
+}  // namespace sc::measure

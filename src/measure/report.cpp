@@ -1,0 +1,23 @@
+#include "measure/report.h"
+
+#include <cstdio>
+
+namespace sc::measure {
+
+Report::Report(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Report::print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%-22s", "");
+  for (const auto& col : columns_) std::printf("%16s", col.c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    std::printf("%-22s", row.label.c_str());
+    for (double v : row.values) std::printf("%16.3f", v);
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace sc::measure

@@ -1,0 +1,28 @@
+// Table printers for the benchmark binaries: every bench emits the same
+// rows/series its paper figure reports, side by side with the paper values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sc::measure {
+
+struct ReportRow {
+  std::string label;
+  std::vector<double> values;
+};
+
+class Report {
+ public:
+  Report(std::string title, std::vector<std::string> columns);
+  void addRow(ReportRow row) { rows_.push_back(std::move(row)); }
+  void print() const;
+  const std::vector<ReportRow>& rows() const noexcept { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<ReportRow> rows_;
+};
+
+}  // namespace sc::measure

@@ -1,0 +1,87 @@
+#include "measure/resource_model.h"
+
+namespace sc::measure {
+
+double clientCryptoFraction(Method method) {
+  switch (method) {
+    case Method::kNativeVpn: return 0.0;   // PPTP data plane: no client crypto
+    case Method::kOpenVpn: return 1.0;     // whole tunnel AES'd client-side
+    case Method::kTor: return 1.0;         // onion layers (see cell factor)
+    case Method::kShadowsocks: return 1.0; // ss-local encrypts everything
+    case Method::kScholarCloud: return 0.0;  // no client software at all:
+      // the browser only speaks plain HTTP-proxy to the domestic hop
+    case Method::kDirect:
+    case Method::kUsControl: return 0.35;  // just the page's own TLS
+  }
+  return 0.0;
+}
+
+bool hasExtraClientProcess(Method method) {
+  return method == Method::kOpenVpn || method == Method::kShadowsocks;
+}
+
+CpuReading modelCpu(const CampaignResult& c, const CpuModelParams& p) {
+  CpuReading r;
+  const int denom = std::max(1, c.successes + c.failures);
+  const double bytes_per_access =
+      static_cast<double>(c.client_bytes) / denom;
+
+  double render = p.render_cycles_per_access;
+  if (c.method == Method::kTor) render *= p.tor_browser_render_factor;
+
+  double crypto_cycles = clientCryptoFraction(c.method) *
+                         p.crypto_cycles_per_byte * bytes_per_access;
+  if (c.method == Method::kTor)
+    crypto_cycles = p.tor_cell_cycles_per_byte * bytes_per_access;
+
+  // The extra client daemon (ss-local / openvpn) does the tunnel crypto; in
+  // Tor's bundle the tor daemon is inside the browser process.
+  double browser_cycles = render + p.net_cycles_per_byte * bytes_per_access;
+  double extra_cycles = 0;
+  if (hasExtraClientProcess(c.method)) {
+    extra_cycles = crypto_cycles * 0.25 +
+                   p.extra_client_cycles_per_byte * bytes_per_access;
+    browser_cycles += crypto_cycles * 0.75;
+  } else {
+    browser_cycles += crypto_cycles;
+  }
+
+  const double window = p.active_window_s * p.clock_hz;
+  r.browser_pct = browser_cycles / window * 100.0;
+  r.extra_client_pct = extra_cycles / window * 100.0;
+  return r;
+}
+
+MemoryReading modelMemory(const CampaignResult& c, const MemoryModelParams& p) {
+  MemoryReading r;
+  r.before_mb =
+      c.method == Method::kTor ? p.tor_browser_base_mb : p.chrome_base_mb;
+
+  double after = r.before_mb + p.page_working_set_mb +
+                 p.per_connection_kb * c.connections_estimate / 1024.0;
+  switch (c.method) {
+    case Method::kNativeVpn:
+      after += p.tunnel_buffer_mb * 0.6;  // kernel-side tun, cheap for the app
+      break;
+    case Method::kOpenVpn:
+      after += p.tunnel_buffer_mb;
+      r.extra_client_mb = p.extra_client_rss_mb_openvpn;
+      break;
+    case Method::kTor:
+      after += p.tor_circuit_mb;  // circuits, consensus, cell queues
+      break;
+    case Method::kShadowsocks:
+      after += p.tunnel_buffer_mb * 1.2;
+      r.extra_client_mb = p.extra_client_rss_mb_ss;
+      break;
+    case Method::kScholarCloud:
+      after += p.tunnel_buffer_mb * 0.7;  // just proxy sockets in-browser
+      break;
+    default:
+      break;
+  }
+  r.after_mb = after;
+  return r;
+}
+
+}  // namespace sc::measure

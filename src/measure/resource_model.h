@@ -1,0 +1,40 @@
+// Client-side resource models for Fig. 6b (CPU) and Fig. 6c (memory).
+//
+// The paper measured Windows task-manager readings on the ThinkPad; we have
+// no Windows process table, so these are parametric models driven by the
+// *measured* activity of each campaign (client wire bytes, PLT, connection
+// counts) plus per-method structural facts (which bytes are encrypted
+// client-side, whether an extra client process runs, Tor Browser's heavier
+// build). The constants live in calibration.h; the *ordering* between
+// methods — native VPN cheapest, Tor most expensive, extra-client costs
+// trivial — is produced by the structure, not hand-assigned numbers.
+#pragma once
+
+#include "measure/calibration.h"
+#include "measure/campaign.h"
+
+namespace sc::measure {
+
+struct CpuReading {
+  double browser_pct = 0;
+  double extra_client_pct = 0;
+  double total() const { return browser_pct + extra_client_pct; }
+};
+
+struct MemoryReading {
+  double before_mb = 0;  // browser RSS, idle
+  double after_mb = 0;   // browser RSS while accessing Scholar
+  double extra_client_mb = 0;
+  double delta() const { return after_mb - before_mb; }
+};
+
+// Fraction of client traffic that the *client* must encrypt/decrypt.
+double clientCryptoFraction(Method method);
+bool hasExtraClientProcess(Method method);
+
+CpuReading modelCpu(const CampaignResult& campaign,
+                    const CpuModelParams& params = {});
+MemoryReading modelMemory(const CampaignResult& campaign,
+                          const MemoryModelParams& params = {});
+
+}  // namespace sc::measure

@@ -1,0 +1,43 @@
+#include "measure/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sc::measure {
+
+Summary Samples::summarize() const {
+  Summary s;
+  if (values_.empty()) return s;
+  s.n = values_.size();
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  const auto pct = [&sorted](double p) {
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  return s;
+}
+
+std::string formatSummary(const Summary& s, const std::string& unit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean %.2f %s (min %.2f, max %.2f, p95 %.2f, n=%zu)", s.mean,
+                unit.c_str(), s.min, s.max, s.p95, s.n);
+  return buf;
+}
+
+}  // namespace sc::measure

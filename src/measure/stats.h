@@ -1,0 +1,35 @@
+// Sample collection and summary statistics for the measurement campaigns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sc::measure {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+class Samples {
+ public:
+  void add(double value) { values_.push_back(value); }
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  Summary summarize() const;
+  const std::vector<double>& values() const noexcept { return values_; }
+  void clear() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+std::string formatSummary(const Summary& s, const std::string& unit);
+
+}  // namespace sc::measure

@@ -1,0 +1,73 @@
+#include "net/link.h"
+
+#include <cassert>
+
+#include "net/network.h"
+#include "net/node.h"
+
+namespace sc::net {
+
+Link::Link(Network& net, Node& a, Node& b, LinkParams params, std::string name)
+    : net_(net), a_(&a), b_(&b), params_(params), name_(std::move(name)) {}
+
+Node& Link::peer(const Node& n) const {
+  assert(&n == a_ || &n == b_);
+  return &n == a_ ? *b_ : *a_;
+}
+
+Direction Link::directionFrom(const Node& from) const {
+  assert(&from == a_ || &from == b_);
+  return &from == a_ ? Direction::kAtoB : Direction::kBtoA;
+}
+
+void Link::transmit(Packet pkt, const Node& from) {
+  const Direction dir = directionFrom(from);
+
+  for (PacketFilter* f : filters_) {
+    if (f->onPacket(pkt, dir, *this) == PacketFilter::Verdict::kDrop) {
+      net_.noteLostFilter(pkt);
+      return;
+    }
+  }
+
+  auto& sim = net_.sim();
+  if (params_.loss_rate > 0.0 && sim.rng().chance(params_.loss_rate)) {
+    net_.noteLostRandom(pkt);
+    return;
+  }
+
+  // Serialization + queueing at the head of the link.
+  const int d = static_cast<int>(dir);
+  const sim::Time now = sim.now();
+  const double bits = static_cast<double>(pkt.wireSize()) * 8.0;
+  const auto ser =
+      static_cast<sim::Time>(bits / params_.bandwidth_bps * sim::kSecond);
+  const sim::Time start = std::max(now, next_free_[d]);
+  if (start - now > params_.max_queue_delay) {
+    net_.noteLostQueue(pkt);
+    return;
+  }
+  next_free_[d] = start + ser;
+  bytes_carried_[d] += pkt.wireSize();
+
+  scheduleDelivery(dir, std::move(pkt));
+}
+
+void Link::scheduleDelivery(Direction dir, Packet pkt) {
+  auto& sim = net_.sim();
+  const int d = static_cast<int>(dir);
+  sim::Time arrival = std::max(next_free_[d], sim.now()) + params_.prop_delay;
+  if (params_.jitter > 0) arrival += sim.rng().uniformInt(0, params_.jitter);
+  Node& to = endpoint(dir);
+  Link* self = this;
+  sim.scheduleAt(arrival, [self, &to, p = std::move(pkt)]() mutable {
+    to.deliverFromLink(std::move(p), *self);
+  });
+}
+
+void Link::inject(Direction dir, Packet pkt) {
+  if (pkt.id == 0) pkt.id = net_.nextPacketId();
+  scheduleDelivery(dir, std::move(pkt));
+}
+
+}  // namespace sc::net

@@ -1,0 +1,46 @@
+#include "net/network.h"
+
+namespace sc::net {
+
+Network::Network(sim::Simulator& sim) : sim_(sim) {}
+
+Node& Network::addNode(std::string name) {
+  nodes_.push_back(std::make_unique<Node>(*this, std::move(name)));
+  return *nodes_.back();
+}
+
+Link& Network::addLink(Node& a, Node& b, LinkParams params, std::string name) {
+  links_.push_back(
+      std::make_unique<Link>(*this, a, b, params, std::move(name)));
+  return *links_.back();
+}
+
+void Network::noteOriginated(const Packet& pkt) {
+  ++total_originated_;
+  auto& s = tag_stats_[pkt.measure_tag];
+  ++s.originated;
+  s.bytes_originated += pkt.wireSize();
+}
+
+void Network::noteDelivered(const Packet& pkt) {
+  ++tag_stats_[pkt.measure_tag].delivered;
+}
+
+void Network::noteLostRandom(const Packet& pkt) {
+  ++tag_stats_[pkt.measure_tag].lost_random;
+}
+
+void Network::noteLostFilter(const Packet& pkt) {
+  ++tag_stats_[pkt.measure_tag].lost_filter;
+}
+
+void Network::noteLostQueue(const Packet& pkt) {
+  ++tag_stats_[pkt.measure_tag].lost_queue;
+}
+
+Network::TagStats Network::tagStats(std::uint32_t tag) const {
+  const auto it = tag_stats_.find(tag);
+  return it == tag_stats_.end() ? TagStats{} : it->second;
+}
+
+}  // namespace sc::net

@@ -1,0 +1,68 @@
+// Network: owns all nodes and links, hands out packet ids, and keeps the
+// per-measurement-tag delivery/loss counters that the PLR experiments read.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace sc::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim);
+
+  Node& addNode(std::string name);
+  Link& addLink(Node& a, Node& b, LinkParams params, std::string name);
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  std::uint64_t nextPacketId() noexcept { return ++next_packet_id_; }
+
+  // ---- measurement accounting (keyed by Packet::measure_tag) ----
+  struct TagStats {
+    std::uint64_t originated = 0;      // packets entering the network
+    std::uint64_t delivered = 0;       // packets reaching a local handler
+    std::uint64_t lost_random = 0;     // random link loss
+    std::uint64_t lost_filter = 0;     // dropped by a middlebox (GFW)
+    std::uint64_t lost_queue = 0;      // tail-dropped at a saturated link
+    std::uint64_t bytes_originated = 0;
+
+    std::uint64_t lostTotal() const {
+      return lost_random + lost_filter + lost_queue;
+    }
+    // Packet loss rate over everything this tag put on the wire.
+    double lossRate() const {
+      const std::uint64_t denom = originated;
+      return denom == 0 ? 0.0
+                        : static_cast<double>(lostTotal()) /
+                              static_cast<double>(denom);
+    }
+  };
+
+  void noteOriginated(const Packet& pkt);
+  void noteDelivered(const Packet& pkt);
+  void noteLostRandom(const Packet& pkt);
+  void noteLostFilter(const Packet& pkt);
+  void noteLostQueue(const Packet& pkt);
+
+  TagStats tagStats(std::uint32_t tag) const;
+  void resetTagStats() { tag_stats_.clear(); }
+
+  std::uint64_t totalOriginated() const noexcept { return total_originated_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_packet_id_ = 0;
+  std::unordered_map<std::uint32_t, TagStats> tag_stats_;
+  std::uint64_t total_originated_ = 0;
+};
+
+}  // namespace sc::net

@@ -1,0 +1,89 @@
+#include "net/node.h"
+
+#include "net/network.h"
+
+namespace sc::net {
+
+Node::Node(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
+
+void Node::attach(Link& link, Ipv4 ip) {
+  interfaces_.push_back(Interface{&link, ip});
+}
+
+void Node::addRoute(Prefix prefix, Link& via) {
+  routes_.push_back(Route{prefix, &via});
+}
+
+bool Node::hasIp(Ipv4 ip) const {
+  for (const auto& itf : interfaces_)
+    if (itf.ip == ip) return true;
+  for (const auto& vip : virtual_ips_)
+    if (vip == ip) return true;
+  return false;
+}
+
+void Node::addVirtualIp(Ipv4 ip) { virtual_ips_.push_back(ip); }
+
+void Node::removeVirtualIp(Ipv4 ip) { std::erase(virtual_ips_, ip); }
+
+void Node::deliverLocal(Packet&& pkt) {
+  net_.noteDelivered(pkt);
+  if (local_handler_) local_handler_(std::move(pkt));
+}
+
+Ipv4 Node::primaryIp() const {
+  return interfaces_.empty() ? Ipv4{} : interfaces_.front().ip;
+}
+
+Link* Node::route(Ipv4 dst) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.length > best->prefix.length) best = &r;
+  }
+  if (best != nullptr) return best->via;
+  return default_route_;
+}
+
+void Node::send(Packet pkt) {
+  const bool originating = pkt.id == 0;
+  if (originating) {
+    if (pkt.src.isZero()) pkt.src = effectiveSource();
+    pkt.id = net_.nextPacketId();
+    // The egress hook (VPN tun device) only sees locally-originated traffic.
+    // Consumed packets are NOT counted as originated: only their encapsulated
+    // outer form hits the wire, and packet accounting measures the wire.
+    if (egress_hook_ && egress_hook_(pkt)) return;
+  }
+  if (hasIp(pkt.dst)) {
+    // Loopback delivery (e.g. a local proxy on the same host). Stays off the
+    // wire, so it doesn't enter the loss accounting either.
+    auto& sim = net_.sim();
+    Node* self = this;
+    sim.schedule(50, [self, p = std::move(pkt)]() mutable {
+      if (self->local_handler_) self->local_handler_(std::move(p));
+    });
+    return;
+  }
+  if (originating) net_.noteOriginated(pkt);
+  Link* via = route(pkt.dst);
+  if (via == nullptr) return;  // no route: silently dropped (like ICMP-less)
+  via->transmit(std::move(pkt), *this);
+}
+
+void Node::deliverFromLink(Packet pkt, Link& from) {
+  (void)from;
+  if (hasIp(pkt.dst)) {
+    net_.noteDelivered(pkt);
+    if (local_handler_) local_handler_(std::move(pkt));
+    return;
+  }
+  if (pkt.ttl == 0) return;
+  --pkt.ttl;
+  ++forwarded_;
+  Link* via = route(pkt.dst);
+  if (via == nullptr) return;
+  via->transmit(std::move(pkt), *this);
+}
+
+}  // namespace sc::net

@@ -1,0 +1,99 @@
+// Nodes: hosts and routers of the simulated internet.
+//
+// A Node routes by longest-prefix match over its interface table. Endpoints
+// register a local handler (the transport stack); routers simply leave it
+// unset and forward. A Node may also install an egress hook — the tun-device
+// abstraction used by VPN clients to swallow all locally-originated traffic
+// into a tunnel before it reaches routing.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace sc::net {
+
+class Network;
+
+class Node {
+ public:
+  Node(Network& net, std::string name);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Attaches this node to a link with the given interface address.
+  void attach(Link& link, Ipv4 ip);
+
+  void addRoute(Prefix prefix, Link& via);
+  void setDefaultRoute(Link& via) { default_route_ = &via; }
+
+  // Originates (or forwards) a packet. Fills in pkt.src with the primary
+  // address when unset, assigns a packet id on origination, applies the
+  // egress hook, then routes.
+  void send(Packet pkt);
+
+  // Called by Link on arrival.
+  void deliverFromLink(Packet pkt, Link& from);
+
+  bool hasIp(Ipv4 ip) const;
+  Ipv4 primaryIp() const;
+
+  // ---- tun-device support (VPN clients) ----
+  // Adds an address with no attached link (a tun interface). Delivery to it
+  // hits the local handler; it never participates in routing.
+  void addVirtualIp(Ipv4 ip);
+  void removeVirtualIp(Ipv4 ip);
+  // When set, locally-originated packets use this source address instead of
+  // the primary interface address (what `ifconfig tun0` does to a host).
+  void setPreferredSource(Ipv4 ip) { preferred_source_ = ip; }
+  void clearPreferredSource() { preferred_source_ = Ipv4{}; }
+  Ipv4 effectiveSource() const {
+    return preferred_source_.isZero() ? primaryIp() : preferred_source_;
+  }
+
+  // Injects a packet into local delivery as if it had arrived on an
+  // interface (used by VPN decapsulation). Runs the local handler directly.
+  void deliverLocal(Packet&& pkt);
+
+  using LocalHandler = std::function<void(Packet&&)>;
+  void setLocalHandler(LocalHandler h) { local_handler_ = std::move(h); }
+
+  // Returns true when the hook consumed the packet (e.g. VPN encapsulation).
+  using EgressHook = std::function<bool(Packet&)>;
+  void setEgressHook(EgressHook h) { egress_hook_ = std::move(h); }
+  void clearEgressHook() { egress_hook_ = nullptr; }
+
+  Network& network() noexcept { return net_; }
+  const std::string& name() const noexcept { return name_; }
+
+  std::uint64_t packetsForwarded() const noexcept { return forwarded_; }
+
+ private:
+  Link* route(Ipv4 dst) const;
+
+  Network& net_;
+  std::string name_;
+  struct Interface {
+    Link* link;
+    Ipv4 ip;
+  };
+  struct Route {
+    Prefix prefix;
+    Link* via;
+  };
+  std::vector<Interface> interfaces_;
+  std::vector<Ipv4> virtual_ips_;
+  Ipv4 preferred_source_;
+  std::vector<Route> routes_;
+  Link* default_route_ = nullptr;
+  LocalHandler local_handler_;
+  EgressHook egress_hook_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace sc::net

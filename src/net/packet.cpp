@@ -1,0 +1,204 @@
+#include "net/packet.h"
+
+namespace sc::net {
+
+std::string TcpFlags::str() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (ack) s += 'A';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (psh) s += 'P';
+  return s.empty() ? "-" : s;
+}
+
+std::string FiveTuple::str() const {
+  return src.str() + ":" + std::to_string(src_port) + "->" + dst.str() + ":" +
+         std::to_string(dst_port) + "/" +
+         std::to_string(static_cast<int>(proto));
+}
+
+Port Packet::srcPort() const {
+  if (isTcp()) return tcp().src_port;
+  if (isUdp()) return udp().src_port;
+  return 0;
+}
+
+Port Packet::dstPort() const {
+  if (isTcp()) return tcp().dst_port;
+  if (isUdp()) return udp().dst_port;
+  return 0;
+}
+
+FiveTuple Packet::fiveTuple() const {
+  return FiveTuple{src, dst, srcPort(), dstPort(), proto};
+}
+
+std::size_t Packet::headerBytes() const {
+  constexpr std::size_t kIp = 20;
+  if (isTcp()) return kIp + 20;
+  if (isUdp()) return kIp + 8;
+  if (isGre()) return kIp + 12;  // GRE with key field
+  return kIp + 8;                // ESP header
+}
+
+std::string Packet::summary() const {
+  std::string s = src.str() + "->" + dst.str();
+  if (isTcp()) {
+    const auto& t = tcp();
+    s += " TCP " + std::to_string(t.src_port) + ">" +
+         std::to_string(t.dst_port) + " [" + t.flags.str() + "] seq=" +
+         std::to_string(t.seq) + " len=" + std::to_string(payload.size());
+  } else if (isUdp()) {
+    s += " UDP " + std::to_string(udp().src_port) + ">" +
+         std::to_string(udp().dst_port) + " len=" +
+         std::to_string(payload.size());
+  } else if (isGre()) {
+    s += " GRE call=" + std::to_string(gre().call_id) + " len=" +
+         std::to_string(payload.size());
+  } else {
+    s += " ESP len=" + std::to_string(payload.size());
+  }
+  return s;
+}
+
+Packet makeTcp(Ipv4 src, Ipv4 dst, Port sport, Port dport, TcpFlags flags,
+               std::uint32_t seq, std::uint32_t ack, Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::kTcp;
+  TcpSeg seg;
+  seg.src_port = sport;
+  seg.dst_port = dport;
+  seg.flags = flags;
+  seg.seq = seq;
+  seg.ack = ack;
+  p.l4 = seg;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet makeUdp(Ipv4 src, Ipv4 dst, Port sport, Port dport, Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::kUdp;
+  p.l4 = UdpDgram{sport, dport};
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet makeGre(Ipv4 src, Ipv4 dst, std::uint32_t call_id, Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::kGre;
+  GreFrame g;
+  g.call_id = call_id;
+  p.l4 = g;
+  p.payload = std::move(payload);
+  return p;
+}
+
+namespace {
+constexpr std::uint8_t kMagic = 0xC4;  // format marker for serialized packets
+}
+
+Bytes serializePacket(const Packet& pkt) {
+  Bytes out;
+  appendU8(out, kMagic);
+  appendU32(out, pkt.src.v);
+  appendU32(out, pkt.dst.v);
+  appendU8(out, pkt.ttl);
+  appendU8(out, static_cast<std::uint8_t>(pkt.proto));
+  if (pkt.isTcp()) {
+    const auto& t = pkt.tcp();
+    appendU16(out, t.src_port);
+    appendU16(out, t.dst_port);
+    appendU32(out, t.seq);
+    appendU32(out, t.ack);
+    std::uint8_t fl = 0;
+    fl |= t.flags.syn ? 1 : 0;
+    fl |= t.flags.ack ? 2 : 0;
+    fl |= t.flags.fin ? 4 : 0;
+    fl |= t.flags.rst ? 8 : 0;
+    fl |= t.flags.psh ? 16 : 0;
+    appendU8(out, fl);
+    appendU16(out, t.window);
+  } else if (pkt.isUdp()) {
+    appendU16(out, pkt.udp().src_port);
+    appendU16(out, pkt.udp().dst_port);
+  } else if (pkt.isGre()) {
+    appendU16(out, pkt.gre().protocol);
+    appendU32(out, pkt.gre().call_id);
+  } else {
+    const auto& e = std::get<EspFrame>(pkt.l4);
+    appendU32(out, e.spi);
+    appendU32(out, e.seq);
+  }
+  appendU32(out, static_cast<std::uint32_t>(pkt.payload.size()));
+  appendBytes(out, pkt.payload);
+  return out;
+}
+
+std::optional<Packet> parsePacket(ByteView data) {
+  std::size_t off = 0;
+  std::uint8_t magic = 0;
+  if (!readU8(data, off, magic) || magic != kMagic) return std::nullopt;
+  Packet p;
+  std::uint32_t src = 0, dst = 0;
+  std::uint8_t proto = 0;
+  if (!readU32(data, off, src) || !readU32(data, off, dst) ||
+      !readU8(data, off, p.ttl) || !readU8(data, off, proto))
+    return std::nullopt;
+  p.src = Ipv4(src);
+  p.dst = Ipv4(dst);
+  p.proto = static_cast<IpProto>(proto);
+  switch (p.proto) {
+    case IpProto::kTcp: {
+      TcpSeg t;
+      std::uint8_t fl = 0;
+      if (!readU16(data, off, t.src_port) || !readU16(data, off, t.dst_port) ||
+          !readU32(data, off, t.seq) || !readU32(data, off, t.ack) ||
+          !readU8(data, off, fl) || !readU16(data, off, t.window))
+        return std::nullopt;
+      t.flags.syn = fl & 1;
+      t.flags.ack = fl & 2;
+      t.flags.fin = fl & 4;
+      t.flags.rst = fl & 8;
+      t.flags.psh = fl & 16;
+      p.l4 = t;
+      break;
+    }
+    case IpProto::kUdp: {
+      UdpDgram u;
+      if (!readU16(data, off, u.src_port) || !readU16(data, off, u.dst_port))
+        return std::nullopt;
+      p.l4 = u;
+      break;
+    }
+    case IpProto::kGre: {
+      GreFrame g;
+      if (!readU16(data, off, g.protocol) || !readU32(data, off, g.call_id))
+        return std::nullopt;
+      p.l4 = g;
+      break;
+    }
+    case IpProto::kEsp: {
+      EspFrame e;
+      if (!readU32(data, off, e.spi) || !readU32(data, off, e.seq))
+        return std::nullopt;
+      p.l4 = e;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  if (!readU32(data, off, len)) return std::nullopt;
+  if (!readBytes(data, off, len, p.payload)) return std::nullopt;
+  return p;
+}
+
+}  // namespace sc::net

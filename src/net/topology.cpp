@@ -1,0 +1,123 @@
+#include "net/topology.h"
+
+namespace sc::net {
+
+World::World(Network& net, WorldParams params) : net_(net), params_(params) {
+  campus_rtr_ = &net_.addNode("campus-router");
+  cernet_rtr_ = &net_.addNode("cernet-router");
+  border_rtr_ = &net_.addNode("border-router");
+  us_rtr_ = &net_.addNode("us-router");
+
+  LinkParams backbone;
+  backbone.prop_delay = params_.campus_cernet_delay;
+  backbone.bandwidth_bps = params_.backbone_bandwidth_bps;
+  backbone.jitter = params_.jitter_domestic;
+  Link& campus_cernet =
+      net_.addLink(*campus_rtr_, *cernet_rtr_, backbone, "campus-cernet");
+  campus_rtr_->attach(campus_cernet, Ipv4(10, 3, 255, 1));
+  cernet_rtr_->attach(campus_cernet, Ipv4(10, 254, 0, 1));
+
+  LinkParams cernet_border;
+  cernet_border.prop_delay = params_.cernet_border_delay;
+  cernet_border.bandwidth_bps = params_.backbone_bandwidth_bps;
+  cernet_border.jitter = params_.jitter_domestic;
+  Link& cb =
+      net_.addLink(*cernet_rtr_, *border_rtr_, cernet_border, "cernet-border");
+  cernet_rtr_->attach(cb, Ipv4(10, 254, 0, 2));
+  border_rtr_->attach(cb, Ipv4(10, 255, 0, 1));
+
+  LinkParams pacific;
+  pacific.prop_delay = params_.transpacific_delay;
+  pacific.bandwidth_bps = params_.transpacific_bandwidth_bps;
+  pacific.jitter = params_.jitter_transpacific;
+  pacific.loss_rate = params_.transpacific_loss;
+  border_link_ = &net_.addLink(*border_rtr_, *us_rtr_, pacific, "transpacific");
+  border_rtr_->attach(*border_link_, Ipv4(172, 16, 0, 1));
+  us_rtr_->attach(*border_link_, Ipv4(203, 0, 0, 1));
+
+  // Inter-router routing.
+  campus_rtr_->setDefaultRoute(campus_cernet);
+  cernet_rtr_->addRoute(Prefix{Ipv4(10, 3, 0, 0), 16}, campus_cernet);
+  cernet_rtr_->setDefaultRoute(cb);
+  border_rtr_->addRoute(Prefix{Ipv4(10, 0, 0, 0), 8}, cb);
+  border_rtr_->setDefaultRoute(*border_link_);
+  us_rtr_->setDefaultRoute(*border_link_);
+}
+
+Ipv4 World::nextIp(Ipv4 base, std::uint32_t& counter) {
+  ++counter;
+  return Ipv4(base.v + counter);
+}
+
+Node& World::addLeaf(const std::string& name, Node& router, Ipv4 ip,
+                     LinkParams lp) {
+  Node& leaf = net_.addNode(name);
+  Link& access = net_.addLink(leaf, router, lp, name + "-access");
+  leaf.attach(access, ip);
+  router.attach(access, Ipv4(ip.v ^ 0xFF000000u));  // router-side addr, unused
+  leaf.setDefaultRoute(access);
+  router.addRoute(Prefix{ip, 32}, access);
+  access_links_[&leaf] = &access;
+  return leaf;
+}
+
+Node& World::addCampusHost(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = params_.access_delay;
+  lp.bandwidth_bps = params_.access_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *campus_rtr_, nextIp(Ipv4(10, 3, 1, 0), n_campus_hosts_),
+                 lp);
+}
+
+Node& World::addCampusServer(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = params_.access_delay;
+  lp.bandwidth_bps = params_.access_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *campus_rtr_,
+                 nextIp(Ipv4(10, 3, 0, 0), n_campus_servers_), lp);
+}
+
+Node& World::addChinaHost(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = 2 * sim::kMillisecond;
+  lp.bandwidth_bps = params_.access_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *cernet_rtr_, nextIp(Ipv4(10, 9, 0, 0), n_china_hosts_),
+                 lp);
+}
+
+Node& World::addUsServer(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = params_.us_server_delay;
+  lp.bandwidth_bps = params_.server_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *us_rtr_, nextIp(Ipv4(203, 0, 1, 0), n_us_servers_), lp);
+}
+
+Node& World::addUsHost(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = 2 * sim::kMillisecond;
+  lp.bandwidth_bps = params_.access_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *us_rtr_, nextIp(Ipv4(203, 0, 2, 0), n_us_hosts_), lp);
+}
+
+Node& World::addRelay(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = 8 * sim::kMillisecond;  // relays scattered across the US/EU
+  lp.bandwidth_bps = params_.access_bandwidth_bps;
+  lp.jitter = 2 * sim::kMillisecond;
+  return addLeaf(name, *us_rtr_, nextIp(Ipv4(198, 18, 0, 0), n_relays_), lp);
+}
+
+Node& World::addCdnFront(const std::string& name) {
+  LinkParams lp;
+  lp.prop_delay = params_.us_server_delay;
+  lp.bandwidth_bps = params_.backbone_bandwidth_bps;
+  lp.jitter = params_.jitter_domestic;
+  return addLeaf(name, *us_rtr_, nextIp(Ipv4(203, 0, 113, 0), n_cdn_), lp);
+}
+
+}  // namespace sc::net

@@ -1,0 +1,94 @@
+// The canonical measurement world, mirroring the paper's testbed (§4.2):
+//
+//   campus hosts (ThinkPad clients, 10.3.1.x)
+//     └── campus router ── CERNET backbone ── BORDER (GFW here) ── US backbone
+//   campus servers (domestic proxy VM, 10.3.0.x)                   ├─ US servers
+//   other-China hosts (10.9.x)  ── CERNET                          │  (Aliyun San
+//                                                                  │  Mateo, Google
+//   Tor relays / bridges (198.18.x), CDN front (203.0.113.x),      │  front-ends,
+//   US control clients — all behind the US backbone router.        └─ 203.0.x.x)
+//
+// One-way propagation delays are calibrated so that the client↔US-server RTT
+// lands near the paper's observed 140–200 ms band, and the trans-Pacific
+// link carries the ~0.1%/traversal background loss that explains the ~0.2%
+// PLR of non-censored flows.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace sc::net {
+
+struct WorldParams {
+  sim::Time access_delay = 250;                        // host <-> campus, us
+  sim::Time campus_cernet_delay = sim::kMillisecond;   // campus <-> backbone
+  sim::Time cernet_border_delay = 4 * sim::kMillisecond;
+  sim::Time transpacific_delay = 65 * sim::kMillisecond;
+  sim::Time us_server_delay = 3 * sim::kMillisecond;
+  sim::Time jitter_transpacific = 5 * sim::kMillisecond;
+  sim::Time jitter_domestic = 300;                     // microseconds
+  double transpacific_loss = 0.001;                    // per traversal
+  double access_bandwidth_bps = 1e9;
+  double backbone_bandwidth_bps = 1e10;
+  double transpacific_bandwidth_bps = 1e9;
+  double server_bandwidth_bps = 1e8;  // Aliyun ECS "100 Mbps max" plan
+};
+
+class World {
+ public:
+  World(Network& net, WorldParams params = {});
+
+  // Leaf factories. Each assigns the next address in the given plan,
+  // attaches an access link and installs default + host routes.
+  Node& addCampusHost(const std::string& name);   // 10.3.1.x  (clients)
+  Node& addCampusServer(const std::string& name); // 10.3.0.x  (domestic VMs)
+  Node& addChinaHost(const std::string& name);    // 10.9.0.x  (non-CERNET)
+  Node& addUsServer(const std::string& name);     // 203.0.1.x (rented VMs)
+  Node& addUsHost(const std::string& name);       // 203.0.2.x (control client)
+  Node& addRelay(const std::string& name);        // 198.18.0.x (Tor)
+  Node& addCdnFront(const std::string& name);     // 203.0.113.x (meek CDN)
+
+  // The GFW attaches its filter here.
+  Link& borderLink() noexcept { return *border_link_; }
+
+  // Access link of a leaf node added via the factories above (nullptr for
+  // routers). Used for per-client traffic accounting (Fig. 6a).
+  Link* accessLink(const Node& leaf) const {
+    const auto it = access_links_.find(&leaf);
+    return it == access_links_.end() ? nullptr : it->second;
+  }
+
+  Node& campusRouter() noexcept { return *campus_rtr_; }
+  Node& cernetRouter() noexcept { return *cernet_rtr_; }
+  Node& borderRouter() noexcept { return *border_rtr_; }
+  Node& usRouter() noexcept { return *us_rtr_; }
+
+  Network& network() noexcept { return net_; }
+  const WorldParams& params() const noexcept { return params_; }
+
+ private:
+  Node& addLeaf(const std::string& name, Node& router, Ipv4 ip,
+                LinkParams link_params);
+  Ipv4 nextIp(Ipv4 base, std::uint32_t& counter);
+
+  Network& net_;
+  WorldParams params_;
+  std::unordered_map<const Node*, Link*> access_links_;
+  Node* campus_rtr_;
+  Node* cernet_rtr_;
+  Node* border_rtr_;
+  Node* us_rtr_;
+  Link* border_link_;
+  std::uint32_t n_campus_hosts_ = 0;
+  std::uint32_t n_campus_servers_ = 0;
+  std::uint32_t n_china_hosts_ = 0;
+  std::uint32_t n_us_servers_ = 0;
+  std::uint32_t n_us_hosts_ = 0;
+  std::uint32_t n_relays_ = 0;
+  std::uint32_t n_cdn_ = 0;
+};
+
+}  // namespace sc::net

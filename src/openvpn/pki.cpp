@@ -1,0 +1,95 @@
+#include "openvpn/pki.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace sc::openvpn {
+
+Bytes Certificate::tbs() const {
+  Bytes out = toBytes(subject);
+  appendU8(out, 0);
+  appendBytes(out, toBytes(issuer));
+  appendU8(out, 0);
+  appendU32(out, serial);
+  appendBytes(out, public_key);
+  return out;
+}
+
+std::string Certificate::pem() const {
+  Bytes blob;
+  const auto put = [&blob](ByteView b) {
+    appendU16(blob, static_cast<std::uint16_t>(b.size()));
+    appendBytes(blob, b);
+  };
+  put(toBytes(subject));
+  put(toBytes(issuer));
+  appendU32(blob, serial);
+  put(public_key);
+  put(signature);
+  return "-----BEGIN CERTIFICATE-----\n" + base64Encode(blob) +
+         "\n-----END CERTIFICATE-----\n";
+}
+
+std::optional<Certificate> Certificate::fromPem(std::string_view pem) {
+  constexpr std::string_view kHead = "-----BEGIN CERTIFICATE-----";
+  constexpr std::string_view kTail = "-----END CERTIFICATE-----";
+  const auto start = pem.find(kHead);
+  const auto end = pem.find(kTail);
+  if (start == std::string_view::npos || end == std::string_view::npos)
+    return std::nullopt;
+  std::string b64;
+  for (char c : pem.substr(start + kHead.size(), end - start - kHead.size())) {
+    if (!std::isspace(static_cast<unsigned char>(c))) b64.push_back(c);
+  }
+  const Bytes blob = base64Decode(b64);
+  if (blob.empty()) return std::nullopt;
+
+  Certificate cert;
+  std::size_t off = 0;
+  const auto get = [&blob, &off](Bytes& out) {
+    std::uint16_t len = 0;
+    return readU16(blob, off, len) && readBytes(blob, off, len, out);
+  };
+  Bytes subject, issuer;
+  if (!get(subject) || !get(issuer) || !readU32(blob, off, cert.serial) ||
+      !get(cert.public_key) || !get(cert.signature))
+    return std::nullopt;
+  cert.subject = toString(subject);
+  cert.issuer = toString(issuer);
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, Bytes secret)
+    : name_(std::move(name)), secret_(std::move(secret)) {
+  ca_cert_.subject = name_;
+  ca_cert_.issuer = name_;
+  ca_cert_.serial = 1;
+  ca_cert_.public_key = crypto::sha256(secret_);
+  ca_cert_.signature = crypto::hmacSha256(secret_, ca_cert_.tbs());
+}
+
+KeyPair CertificateAuthority::issue(const std::string& subject) {
+  KeyPair pair;
+  pair.private_key =
+      crypto::deriveKey(secret_, "key:" + subject, 32);
+  pair.certificate.subject = subject;
+  pair.certificate.issuer = name_;
+  pair.certificate.serial = next_serial_++;
+  pair.certificate.public_key = crypto::sha256(pair.private_key);
+  pair.certificate.signature =
+      crypto::hmacSha256(secret_, pair.certificate.tbs());
+  return pair;
+}
+
+bool CertificateAuthority::verify(const Certificate& cert) const {
+  if (!cert.valid() || cert.issuer != name_) return false;
+  return ctEqual(cert.signature, crypto::hmacSha256(secret_, cert.tbs()));
+}
+
+Bytes CertificateAuthority::generateTlsAuthKey() {
+  return crypto::deriveKey(secret_, "ta.key", 64);
+}
+
+}  // namespace sc::openvpn

@@ -1,0 +1,57 @@
+// Easy-RSA-style PKI (§4.2: "use the Easy-RSA tool to create the PKI
+// certificates and keys"). Signatures are HMACs under the CA secret — the
+// verification, trust-chain and provisioning *workflow* is what the paper's
+// usability complaint is about, and it is faithfully reproduced: a client
+// cannot connect without a CA cert, a client cert + key, and the shared
+// tls-auth key, all provisioned out of band.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sc::openvpn {
+
+struct Certificate {
+  std::string subject;
+  std::string issuer;
+  std::uint32_t serial = 0;
+  Bytes public_key;
+  Bytes signature;
+
+  bool valid() const noexcept {
+    return !subject.empty() && !issuer.empty() && !public_key.empty() &&
+           !signature.empty();
+  }
+  Bytes tbs() const;  // to-be-signed bytes
+  std::string pem() const;
+  static std::optional<Certificate> fromPem(std::string_view pem);
+};
+
+struct KeyPair {
+  Certificate certificate;
+  Bytes private_key;
+};
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string name, Bytes secret);
+
+  // "easyrsa build-client-full <subject>"
+  KeyPair issue(const std::string& subject);
+
+  bool verify(const Certificate& cert) const;
+  const Certificate& caCertificate() const noexcept { return ca_cert_; }
+
+  // "openvpn --genkey --secret ta.key"
+  Bytes generateTlsAuthKey();
+
+ private:
+  std::string name_;
+  Bytes secret_;
+  Certificate ca_cert_;
+  std::uint32_t next_serial_ = 2;
+};
+
+}  // namespace sc::openvpn

@@ -1,0 +1,71 @@
+#include "regulation/icp_registry.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::regulation {
+
+std::string IcpRegistry::approve(IcpRecord record) {
+  record.icp_number = "ICP-" + std::to_string(next_number_++);
+  record.status = RecordStatus::kApproved;
+  records_.push_back(std::move(record));
+  return records_.back().icp_number;
+}
+
+void IcpRegistry::revoke(const std::string& icp_number,
+                         const std::string& reason) {
+  if (IcpRecord* rec = mutableRecord(icp_number)) {
+    rec->status = RecordStatus::kRevoked;
+    last_reason_ = reason;
+  }
+}
+
+bool IcpRegistry::isRegistered(net::Ipv4 server) const {
+  return lookupByAddress(server) != nullptr;
+}
+
+bool IcpRegistry::isRegisteredDomain(const std::string& domain) const {
+  const std::string lower = toLower(domain);
+  return std::any_of(records_.begin(), records_.end(), [&](const IcpRecord& r) {
+    return r.status == RecordStatus::kApproved && toLower(r.domain) == lower;
+  });
+}
+
+const IcpRecord* IcpRegistry::lookupByNumber(
+    const std::string& icp_number) const {
+  for (const auto& r : records_)
+    if (r.icp_number == icp_number) return &r;
+  return nullptr;
+}
+
+const IcpRecord* IcpRegistry::lookupByAddress(net::Ipv4 server) const {
+  for (const auto& r : records_)
+    if (r.status == RecordStatus::kApproved && r.server_address == server)
+      return &r;
+  return nullptr;
+}
+
+IcpRecord* IcpRegistry::mutableRecord(const std::string& icp_number) {
+  for (auto& r : records_)
+    if (r.icp_number == icp_number) return &r;
+  return nullptr;
+}
+
+bool IcpRegistry::removeFromWhitelist(const std::string& icp_number,
+                                      const std::string& domain) {
+  IcpRecord* rec = mutableRecord(icp_number);
+  if (rec == nullptr) return false;
+  const auto before = rec->whitelist.size();
+  std::erase(rec->whitelist, domain);
+  return rec->whitelist.size() != before;
+}
+
+std::size_t IcpRegistry::activeRegistrations() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), [](const IcpRecord& r) {
+        return r.status == RecordStatus::kApproved;
+      }));
+}
+
+}  // namespace sc::regulation

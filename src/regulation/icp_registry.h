@@ -1,0 +1,70 @@
+// The MIIT's centralized ICP database (§2): every Internet Content Provider
+// offering a public service in China must be registered here via a TCA
+// agency. The GFW consults this registry (through Gfw::setIcpLookup) to
+// grant registered endpoints leniency — the load-bearing mechanism of the
+// paper's "legal avenue".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace sc::regulation {
+
+enum class ServiceType { kWebProxy, kVpn, kContentSite, kSearchEngine };
+
+enum class RecordStatus { kPending, kVerifying, kApproved, kRejected, kRevoked };
+
+struct IcpRecord {
+  // Application data (what registration "records and verifies", §2).
+  std::string service_name;
+  std::string domain;
+  ServiceType type = ServiceType::kContentSite;
+  std::string company;
+  std::string responsible_person;
+  net::Ipv4 server_address;
+  // Required documents (§3 "Service legalization").
+  bool biometric_document = false;
+  bool service_documentation = false;  // text, screenshots, usage videos
+  bool user_guide = false;
+  // The visible whitelist of services the proxy will carry (web proxies only).
+  std::vector<std::string> whitelist;
+
+  // Registry-managed fields.
+  std::string icp_number;  // e.g. "ICP-15063437", assigned on approval
+  RecordStatus status = RecordStatus::kPending;
+  sim::Time submitted_at = 0;
+  sim::Time decided_at = 0;
+};
+
+class IcpRegistry {
+ public:
+  // Returns the assigned ICP number.
+  std::string approve(IcpRecord record);
+  void revoke(const std::string& icp_number, const std::string& reason);
+
+  bool isRegistered(net::Ipv4 server) const;
+  bool isRegisteredDomain(const std::string& domain) const;
+  const IcpRecord* lookupByNumber(const std::string& icp_number) const;
+  const IcpRecord* lookupByAddress(net::Ipv4 server) const;
+  IcpRecord* mutableRecord(const std::string& icp_number);
+
+  // Agencies can demand whitelist changes on demand (§3).
+  bool removeFromWhitelist(const std::string& icp_number,
+                           const std::string& domain);
+
+  std::size_t activeRegistrations() const;
+  const std::vector<IcpRecord>& records() const noexcept { return records_; }
+  std::string lastRevocationReason() const noexcept { return last_reason_; }
+
+ private:
+  std::vector<IcpRecord> records_;
+  int next_number_ = 15063437;  // ScholarCloud's real ICP number seed
+  std::string last_reason_;
+};
+
+}  // namespace sc::regulation

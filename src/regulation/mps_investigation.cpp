@@ -1,0 +1,59 @@
+#include "regulation/mps_investigation.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::regulation {
+
+MpsInvestigation::MpsInvestigation(sim::Simulator& sim, IcpRegistry& registry,
+                                   MpsPolicy policy)
+    : sim_(sim), registry_(registry), policy_(policy) {}
+
+void MpsInvestigation::reportService(net::Ipv4 server,
+                                     const std::string& domain,
+                                     bool corporate_internal) {
+  if (corporate_internal && policy_.tolerate_corporate_vpn) return;
+
+  // Registered services carrying declared content are not takedown targets;
+  // complaints about them go through the whitelist-audit path instead.
+  if (registry_.isRegistered(server)) return;
+
+  Case& c = cases_[server];
+  ++c.reports;
+  if (c.reports < policy_.evidence_threshold || c.under_investigation) return;
+
+  c.under_investigation = true;
+  sim_.schedule(policy_.investigation_time, [this, server, domain] {
+    // Re-check at decision time: the operator may have registered meanwhile.
+    if (registry_.isRegistered(server)) {
+      cases_.erase(server);
+      return;
+    }
+    ++shutdowns_;
+    cases_.erase(server);
+    if (shutdown_cb_)
+      shutdown_cb_(server, "unregistered public service: " + domain);
+  });
+}
+
+std::vector<std::string> MpsInvestigation::auditWhitelist(
+    const std::string& icp_number,
+    const std::vector<std::string>& illegal_domains) {
+  std::vector<std::string> removed;
+  const IcpRecord* rec = registry_.lookupByNumber(icp_number);
+  if (rec == nullptr) return removed;
+  for (const auto& domain : rec->whitelist) {
+    const bool illegal =
+        std::any_of(illegal_domains.begin(), illegal_domains.end(),
+                    [&](const std::string& bad) {
+                      return dnsDomainIs(domain, bad);
+                    });
+    if (illegal) removed.push_back(domain);
+  }
+  for (const auto& domain : removed)
+    registry_.removeFromWhitelist(icp_number, domain);
+  return removed;
+}
+
+}  // namespace sc::regulation

@@ -1,0 +1,67 @@
+// MPS/MSS enforcement (§2): conservative, evidence-based takedowns of
+// services judged illegal. Unlike the GFW's millisecond-scale technical
+// blocking, investigations accumulate reports over simulated weeks before a
+// shutdown decision; registered services carrying only whitelisted legal
+// content are left alone — the asymmetry the paper's argument rests on.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "regulation/icp_registry.h"
+#include "sim/simulator.h"
+
+namespace sc::regulation {
+
+struct MpsPolicy {
+  int evidence_threshold = 5;                     // reports before action
+  sim::Time investigation_time = 30 * sim::kDay;  // evidence -> decision
+  // Transnational-corporation VPNs are tolerated (the paper's §2 example of
+  // why blanket VPN shutdowns would "create disputes").
+  bool tolerate_corporate_vpn = true;
+};
+
+class MpsInvestigation {
+ public:
+  // The shutdown callback is how a decision becomes real: callers wire it to
+  // GFW IP-blocking and/or host teardown.
+  using ShutdownCb =
+      std::function<void(net::Ipv4 server, const std::string& reason)>;
+
+  MpsInvestigation(sim::Simulator& sim, IcpRegistry& registry,
+                   MpsPolicy policy = {});
+
+  void setShutdownCallback(ShutdownCb cb) { shutdown_cb_ = std::move(cb); }
+
+  // Files a report against a service (e.g. "unregistered proxy observed").
+  void reportService(net::Ipv4 server, const std::string& domain,
+                     bool corporate_internal = false);
+
+  // §3: agencies can examine a registered proxy's whitelist and demand
+  // removals. Returns the list of domains that were ordered removed
+  // (anything on the illegal-content list).
+  std::vector<std::string> auditWhitelist(
+      const std::string& icp_number,
+      const std::vector<std::string>& illegal_domains);
+
+  std::uint64_t openInvestigations() const noexcept {
+    return static_cast<std::uint64_t>(cases_.size());
+  }
+  std::uint64_t shutdownsIssued() const noexcept { return shutdowns_; }
+
+ private:
+  struct Case {
+    int reports = 0;
+    bool under_investigation = false;
+  };
+
+  sim::Simulator& sim_;
+  IcpRegistry& registry_;
+  MpsPolicy policy_;
+  ShutdownCb shutdown_cb_;
+  std::unordered_map<net::Ipv4, Case> cases_;
+  std::uint64_t shutdowns_ = 0;
+};
+
+}  // namespace sc::regulation

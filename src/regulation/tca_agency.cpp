@@ -1,0 +1,61 @@
+#include "regulation/tca_agency.h"
+
+namespace sc::regulation {
+
+TcaAgency::TcaAgency(sim::Simulator& sim, IcpRegistry& registry,
+                     TcaPolicy policy)
+    : sim_(sim), registry_(registry), policy_(policy) {}
+
+TcaAgency::Decision TcaAgency::evaluate(const IcpRecord& application) const {
+  Decision d;
+  if (application.service_name.empty() || application.domain.empty() ||
+      application.company.empty() || application.responsible_person.empty()) {
+    d.reason = "incomplete application: missing identity fields";
+    return d;
+  }
+  if (!application.biometric_document) {
+    d.reason = "missing biometric document of the legal representative";
+    return d;
+  }
+  if (!application.service_documentation) {
+    d.reason = "missing service documentation (text/screenshots/videos)";
+    return d;
+  }
+  if (!application.user_guide) {
+    d.reason = "missing workable user guide";
+    return d;
+  }
+  if (application.type == ServiceType::kVpn && !policy_.approve_vpn_services) {
+    d.reason = "unauthorised VPN services are not approvable";
+    return d;
+  }
+  if (application.type == ServiceType::kWebProxy &&
+      application.whitelist.empty()) {
+    d.reason = "web proxy requires a visible whitelist of carried services";
+    return d;
+  }
+  d.approved = true;
+  return d;
+}
+
+std::size_t TcaAgency::submitApplication(IcpRecord application,
+                                         DecisionCb cb) {
+  ++received_;
+  const sim::Time delay = sim_.rng().uniformInt(policy_.verification_min,
+                                                policy_.verification_max);
+  application.submitted_at = sim_.now();
+  application.status = RecordStatus::kVerifying;
+  sim_.schedule(delay, [this, application = std::move(application),
+                        cb = std::move(cb)]() mutable {
+    Decision decision = evaluate(application);
+    application.decided_at = sim_.now();
+    if (decision.approved) {
+      ++approved_;
+      decision.icp_number = registry_.approve(std::move(application));
+    }
+    cb(std::move(decision));
+  });
+  return received_;
+}
+
+}  // namespace sc::regulation

@@ -1,0 +1,51 @@
+// City-level Telecommunication Administration agency (§2): receives ICP
+// applications, verifies documents manually ("typically takes weeks to
+// months"), and writes approved records into the MIIT registry.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "regulation/icp_registry.h"
+#include "sim/simulator.h"
+
+namespace sc::regulation {
+
+struct TcaPolicy {
+  // Manual verification duration: uniform between min and max.
+  sim::Time verification_min = 21 * sim::kDay;
+  sim::Time verification_max = 90 * sim::kDay;
+  // VPN-type services stopped being approvable for individuals after the
+  // 2017 "cleansing" campaign the paper cites.
+  bool approve_vpn_services = false;
+};
+
+class TcaAgency {
+ public:
+  TcaAgency(sim::Simulator& sim, IcpRegistry& registry, TcaPolicy policy = {});
+
+  struct Decision {
+    bool approved = false;
+    std::string icp_number;  // set when approved
+    std::string reason;      // set when rejected
+  };
+  using DecisionCb = std::function<void(Decision)>;
+
+  // Submits an application; the decision callback fires weeks-to-months of
+  // simulated time later. Returns the queue position (informational).
+  std::size_t submitApplication(IcpRecord application, DecisionCb cb);
+
+  std::uint64_t applicationsReceived() const noexcept { return received_; }
+  std::uint64_t applicationsApproved() const noexcept { return approved_; }
+
+ private:
+  Decision evaluate(const IcpRecord& application) const;
+
+  sim::Simulator& sim_;
+  IcpRegistry& registry_;
+  TcaPolicy policy_;
+  std::uint64_t received_ = 0;
+  std::uint64_t approved_ = 0;
+};
+
+}  // namespace sc::regulation

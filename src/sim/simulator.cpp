@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+
+namespace sc::sim {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::active() const { return alive_ && *alive_; }
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::scheduleAt(Time at, std::function<void()> fn) {
+  assert(at >= now_);
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never re-compare the moved-from element.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  if (*ev.alive) ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::runUntil(Time deadline) {
+  const std::size_t n = run(deadline);
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::runWhile(const std::function<bool()>& done, Time deadline) {
+  if (done()) return true;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    if (done()) return true;
+  }
+  return false;
+}
+
+}  // namespace sc::sim

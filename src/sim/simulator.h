@@ -1,0 +1,86 @@
+// Discrete-event simulator: the heart of the testbed substrate.
+//
+// Every layer (links, TCP timers, GFW probes, browsers issuing a page load
+// each simulated minute) schedules closures on this queue. Ties are broken by
+// insertion order, which — together with the deterministic Rng — makes whole
+// measurement campaigns exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace sc::sim {
+
+class Simulator;
+
+// Handle for cancelling a scheduled event (e.g. a TCP retransmission timer
+// that is superseded by an ACK). Cancellation is lazy: the event stays in the
+// queue but its body is skipped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 42);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  // Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  EventHandle schedule(Time delay, std::function<void()> fn);
+  EventHandle scheduleAt(Time at, std::function<void()> fn);
+
+  // Runs until the queue is empty or `deadline` is passed.
+  // Returns the number of events executed.
+  std::size_t run(Time deadline = kDay * 365);
+
+  // Runs until `deadline`, then stops even if events remain.
+  std::size_t runUntil(Time deadline);
+
+  // Runs until `done` returns true (checked after every event) or the queue
+  // drains or the deadline passes. Returns true iff `done` fired.
+  bool runWhile(const std::function<bool()>& done, Time deadline);
+
+  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // executes one event; false when queue is empty
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace sc::sim

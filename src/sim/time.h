@@ -1,0 +1,26 @@
+// Virtual time. The whole system runs in simulated microseconds so that
+// day-long measurement campaigns (one page access per 60 s, as in §4.2 of the
+// paper) complete in milliseconds of wall time and are bit-for-bit
+// reproducible across runs.
+#pragma once
+
+#include <cstdint>
+
+namespace sc::sim {
+
+// Microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+constexpr Time kMinute = 60 * kSecond;
+constexpr Time kHour = 60 * kMinute;
+constexpr Time kDay = 24 * kHour;
+
+constexpr double toSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double toMillis(Time t) {
+  return static_cast<double>(t) / kMillisecond;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,134 @@
+#include "survey/survey.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sc::survey {
+
+const char* accessMethodName(AccessMethod m) {
+  switch (m) {
+    case AccessMethod::kNone: return "none";
+    case AccessMethod::kNativeVpn: return "native-vpn";
+    case AccessMethod::kOpenVpn: return "openvpn";
+    case AccessMethod::kTor: return "tor";
+    case AccessMethod::kShadowsocks: return "shadowsocks";
+    case AccessMethod::kOther: return "other";
+  }
+  return "?";
+}
+
+double Tabulation::bypassFraction() const {
+  return total == 0 ? 0.0
+                    : static_cast<double>(bypassing) /
+                          static_cast<double>(total);
+}
+
+double Tabulation::share(AccessMethod m) const {
+  if (bypassing == 0) return 0.0;
+  const auto it = by_method.find(m);
+  const int n = it == by_method.end() ? 0 : it->second;
+  return static_cast<double>(n) / static_cast<double>(bypassing);
+}
+
+double Tabulation::nativeWithinVpn() const {
+  const auto nat = by_method.find(AccessMethod::kNativeVpn);
+  const auto open = by_method.find(AccessMethod::kOpenVpn);
+  const int n_native = nat == by_method.end() ? 0 : nat->second;
+  const int n_open = open == by_method.end() ? 0 : open->second;
+  const int vpn = n_native + n_open;
+  return vpn == 0 ? 0.0
+                  : static_cast<double>(n_native) / static_cast<double>(vpn);
+}
+
+std::string Tabulation::asText() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "responses=%d bypass=%.0f%% | VPN %.0f%% (native %.0f%% / open %.0f%%), "
+      "Tor %.0f%%, Shadowsocks %.0f%%, other %.0f%%",
+      total, bypassFraction() * 100,
+      (share(AccessMethod::kNativeVpn) + share(AccessMethod::kOpenVpn)) * 100,
+      nativeWithinVpn() * 100, (1 - nativeWithinVpn()) * 100,
+      share(AccessMethod::kTor) * 100, share(AccessMethod::kShadowsocks) * 100,
+      share(AccessMethod::kOther) * 100);
+  return buf;
+}
+
+std::vector<SurveyResponse> synthesizeResponses(sim::Rng& rng, int n) {
+  // Largest-remainder apportionment against the Fig. 3 distribution.
+  const int bypassing = static_cast<int>(
+      std::lround(Figure3::kBypassFraction * n));
+  struct Quota {
+    AccessMethod method;
+    double target;
+    int count = 0;
+  };
+  const double vpn = Figure3::kVpnShare;
+  std::vector<Quota> quotas = {
+      {AccessMethod::kNativeVpn, vpn * Figure3::kNativeVpnWithinVpn},
+      {AccessMethod::kOpenVpn, vpn * Figure3::kOpenVpnWithinVpn},
+      {AccessMethod::kTor, Figure3::kTorShare},
+      {AccessMethod::kShadowsocks, Figure3::kShadowsocksShare},
+      {AccessMethod::kOther, Figure3::kOtherShare},
+  };
+  int assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t i = 0; i < quotas.size(); ++i) {
+    const double exact = quotas[i].target * bypassing;
+    quotas[i].count = static_cast<int>(exact);
+    assigned += quotas[i].count;
+    remainders.emplace_back(exact - quotas[i].count, i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < bypassing && i < remainders.size(); ++i) {
+    ++quotas[remainders[i].second].count;
+    ++assigned;
+  }
+
+  static constexpr const char* kDepartments[] = {
+      "Physics",   "Chemistry",  "Life Sciences", "Economics",
+      "Law",       "Humanities", "Architecture",  "Medicine",
+      "Materials", "Computer Science"};
+
+  std::vector<SurveyResponse> responses;
+  responses.reserve(static_cast<std::size_t>(n));
+  int id = 1;
+  for (const auto& q : quotas) {
+    for (int i = 0; i < q.count; ++i) {
+      SurveyResponse r;
+      r.respondent_id = id++;
+      r.department = kDepartments[rng.uniformU64(std::size(kDepartments))];
+      r.bypasses_gfw = true;
+      r.method = q.method;
+      responses.push_back(std::move(r));
+    }
+  }
+  while (static_cast<int>(responses.size()) < n) {
+    SurveyResponse r;
+    r.respondent_id = id++;
+    r.department = kDepartments[rng.uniformU64(std::size(kDepartments))];
+    r.bypasses_gfw = false;
+    r.method = AccessMethod::kNone;
+    responses.push_back(std::move(r));
+  }
+  // Shuffle so respondent ids don't encode the method.
+  for (std::size_t i = responses.size(); i > 1; --i) {
+    const std::size_t j = rng.uniformU64(i);
+    std::swap(responses[i - 1], responses[j]);
+  }
+  return responses;
+}
+
+Tabulation tabulate(const std::vector<SurveyResponse>& responses) {
+  Tabulation t;
+  t.total = static_cast<int>(responses.size());
+  for (const auto& r : responses) {
+    if (!r.bypasses_gfw) continue;
+    ++t.bypassing;
+    ++t.by_method[r.method];
+  }
+  return t;
+}
+
+}  // namespace sc::survey

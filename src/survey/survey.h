@@ -1,0 +1,69 @@
+// The §4.1 user survey (371 responses via the Tsinghua BBS, July 2015) and
+// its tabulation — Fig. 3's data.
+//
+// The paper publishes only the aggregate distribution; we embed it as the
+// ground truth, provide a generator that synthesizes individual responses
+// consistent with it (for examples/tests that want per-respondent records),
+// and the tabulation code that turns responses back into Fig. 3.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sc::survey {
+
+enum class AccessMethod {
+  kNone,         // does not bypass the GFW
+  kNativeVpn,
+  kOpenVpn,
+  kTor,
+  kShadowsocks,
+  kOther,        // Free Gate, hosts-file edits, other web proxies...
+};
+
+const char* accessMethodName(AccessMethod m);
+
+struct SurveyResponse {
+  int respondent_id = 0;
+  std::string department;     // mostly non-CS, per §4.1
+  bool bypasses_gfw = false;
+  AccessMethod method = AccessMethod::kNone;
+};
+
+// Fig. 3 ground truth.
+struct Figure3 {
+  static constexpr int kResponses = 371;
+  static constexpr double kBypassFraction = 0.26;
+  // Distribution among those who bypass:
+  static constexpr double kVpnShare = 0.43;
+  static constexpr double kNativeVpnWithinVpn = 0.93;
+  static constexpr double kOpenVpnWithinVpn = 0.07;
+  static constexpr double kTorShare = 0.02;
+  static constexpr double kShadowsocksShare = 0.21;
+  static constexpr double kOtherShare = 0.34;
+};
+
+struct Tabulation {
+  int total = 0;
+  int bypassing = 0;
+  std::map<AccessMethod, int> by_method;  // among bypassing respondents
+
+  double bypassFraction() const;
+  // Share of `m` among bypassing respondents.
+  double share(AccessMethod m) const;
+  // Shares within the VPN group.
+  double nativeWithinVpn() const;
+  std::string asText() const;
+};
+
+// Synthesizes a response set whose tabulation matches Fig. 3 (deterministic
+// largest-remainder allocation; rng only shuffles assignment order).
+std::vector<SurveyResponse> synthesizeResponses(sim::Rng& rng,
+                                                int n = Figure3::kResponses);
+
+Tabulation tabulate(const std::vector<SurveyResponse>& responses);
+
+}  // namespace sc::survey

@@ -1,0 +1,62 @@
+#include "tor/cell.h"
+
+namespace sc::tor {
+
+Bytes encodeCell(const Cell& cell) {
+  Bytes out;
+  out.reserve(kCellSize);
+  appendU32(out, cell.circ_id);
+  appendU8(out, static_cast<std::uint8_t>(cell.cmd));
+  appendU16(out, static_cast<std::uint16_t>(cell.payload.size()));
+  appendBytes(out, cell.payload);
+  out.resize(kCellSize, 0);  // fixed-size padding
+  return out;
+}
+
+std::vector<Cell> CellReader::feed(ByteView data) {
+  appendBytes(buffer_, data);
+  std::vector<Cell> cells;
+  while (buffer_.size() >= kCellSize) {
+    std::size_t off = 0;
+    Cell cell;
+    std::uint8_t cmd = 0;
+    std::uint16_t len = 0;
+    readU32(buffer_, off, cell.circ_id);
+    readU8(buffer_, off, cmd);
+    readU16(buffer_, off, len);
+    cell.cmd = static_cast<CellCommand>(cmd);
+    if (len > kCellPayloadSize) len = kCellPayloadSize;
+    cell.payload.assign(buffer_.begin() + 7,
+                        buffer_.begin() + 7 + len);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(kCellSize));
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+Bytes encodeRelayPayload(const RelayPayload& relay) {
+  Bytes out;
+  appendU32(out, kRelayMagic);
+  appendU8(out, static_cast<std::uint8_t>(relay.cmd));
+  appendU16(out, relay.stream_id);
+  appendU16(out, static_cast<std::uint16_t>(relay.data.size()));
+  appendBytes(out, relay.data);
+  return out;
+}
+
+std::optional<RelayPayload> decodeRelayPayload(ByteView payload) {
+  std::size_t off = 0;
+  std::uint32_t magic = 0;
+  std::uint8_t cmd = 0;
+  RelayPayload relay;
+  std::uint16_t len = 0;
+  if (!readU32(payload, off, magic) || magic != kRelayMagic) return std::nullopt;
+  if (!readU8(payload, off, cmd) || !readU16(payload, off, relay.stream_id) ||
+      !readU16(payload, off, len) || !readBytes(payload, off, len, relay.data))
+    return std::nullopt;
+  relay.cmd = static_cast<RelayCommand>(cmd);
+  return relay;
+}
+
+}  // namespace sc::tor

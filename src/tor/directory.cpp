@@ -1,0 +1,67 @@
+#include "tor/directory.h"
+
+#include "util/strings.h"
+
+namespace sc::tor {
+
+std::string serializeConsensus(const std::vector<RelayDescriptor>& relays) {
+  std::string out = "network-status-version 3\n";
+  for (const auto& r : relays) {
+    out += "r " + r.nickname + " " + r.address.str() + " " +
+           std::to_string(r.port);
+    if (r.guard) out += " Guard";
+    if (r.exit_node) out += " Exit";
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<std::vector<RelayDescriptor>> parseConsensus(
+    std::string_view text) {
+  std::vector<RelayDescriptor> relays;
+  bool header_seen = false;
+  for (const auto& line : splitString(text, '\n')) {
+    if (line.empty()) continue;
+    if (startsWith(line, "network-status-version")) {
+      header_seen = true;
+      continue;
+    }
+    if (!startsWith(line, "r ")) continue;
+    const auto parts = splitString(line, ' ');
+    if (parts.size() < 4) return std::nullopt;
+    RelayDescriptor r;
+    r.nickname = parts[1];
+    const auto addr = net::Ipv4::parse(parts[2]);
+    if (!addr) return std::nullopt;
+    r.address = *addr;
+    r.port = static_cast<net::Port>(std::stoi(parts[3]));
+    for (std::size_t i = 4; i < parts.size(); ++i) {
+      if (parts[i] == "Guard") r.guard = true;
+      if (parts[i] == "Exit") r.exit_node = true;
+    }
+    relays.push_back(std::move(r));
+  }
+  if (!header_seen) return std::nullopt;
+  return relays;
+}
+
+DirectoryAuthority::DirectoryAuthority(transport::HostStack& stack)
+    : stack_(stack) {
+  http::ServerOptions opts;
+  opts.port = 80;
+  server_ = std::make_unique<http::HttpServer>(stack_, opts);
+  server_->route("/tor/status", [this](const http::Request&,
+                                       http::HttpServer::Respond respond) {
+    ++fetches_;
+    http::Response resp;
+    resp.headers.set("content-type", "text/plain");
+    resp.body = toBytes(serializeConsensus(relays_));
+    respond(std::move(resp));
+  });
+}
+
+void DirectoryAuthority::publish(RelayDescriptor descriptor) {
+  relays_.push_back(std::move(descriptor));
+}
+
+}  // namespace sc::tor

@@ -1,0 +1,47 @@
+// Tor directory authority: publishes the relay consensus over plain HTTP.
+//
+// The consensus is public by design — which is also why the GFW can harvest
+// every listed relay address and IP-block them all (the measurement harness
+// does exactly that). Bridges are deliberately NOT listed; clients learn
+// them out of band (BridgeDB in reality; a config entry here).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/server.h"
+
+namespace sc::tor {
+
+struct RelayDescriptor {
+  std::string nickname;
+  net::Ipv4 address;
+  net::Port port = 9001;
+  bool guard = false;
+  bool exit_node = false;
+};
+
+std::string serializeConsensus(const std::vector<RelayDescriptor>& relays);
+std::optional<std::vector<RelayDescriptor>> parseConsensus(
+    std::string_view text);
+
+class DirectoryAuthority {
+ public:
+  explicit DirectoryAuthority(transport::HostStack& stack);
+
+  void publish(RelayDescriptor descriptor);
+  const std::vector<RelayDescriptor>& relays() const noexcept {
+    return relays_;
+  }
+  std::uint64_t consensusFetches() const noexcept { return fetches_; }
+
+ private:
+  transport::HostStack& stack_;
+  std::unique_ptr<http::HttpServer> server_;
+  std::vector<RelayDescriptor> relays_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace sc::tor

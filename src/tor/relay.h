@@ -1,0 +1,101 @@
+// Tor onion router: accepts TLS link connections carrying cells, peels /
+// adds one onion layer per RELAY cell, extends circuits on EXTEND, and (when
+// acting as exit) opens upstream TCP connections for BEGIN.
+//
+// One binary serves every role — guard, middle, exit, or unlisted bridge —
+// role being a property of how the directory lists it and who connects.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/aes.h"
+#include "dns/resolver.h"
+#include "http/tls.h"
+#include "tor/cell.h"
+#include "tor/directory.h"
+#include "transport/host_stack.h"
+
+namespace sc::tor {
+
+constexpr net::Port kOrPort = 9001;
+
+// Hop key schedule shared by client and relay: directional CFB streams
+// derived from the 32-byte key material carried in CREATE.
+struct HopCrypto {
+  std::unique_ptr<crypto::AesCfbStream> forward;   // client -> exit direction
+  std::unique_ptr<crypto::AesCfbStream> backward;  // exit -> client direction
+  static HopCrypto fromKeyMaterial(ByteView key);
+};
+
+struct TorRelayOptions {
+  std::string nickname = "relay";
+  net::Port port = kOrPort;
+  bool allow_exit = false;
+  net::Ipv4 dns_server;  // exits resolve target names here
+};
+
+class TorRelay {
+ public:
+  TorRelay(transport::HostStack& stack, TorRelayOptions options);
+
+  RelayDescriptor descriptor(bool guard_flag, bool exit_flag) const;
+
+  std::uint64_t cellsProcessed() const noexcept { return cells_; }
+  std::size_t activeCircuits() const noexcept { return circuits_.size(); }
+  std::uint64_t streamsExited() const noexcept { return exited_; }
+  const std::string& nickname() const noexcept { return options_.nickname; }
+
+ private:
+  struct Conn {
+    transport::Stream::Ptr stream;
+    CellReader reader;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  struct CircuitKey {
+    const Conn* conn;
+    std::uint32_t circ_id;
+    bool operator==(const CircuitKey&) const = default;
+  };
+  struct CircuitKeyHash {
+    std::size_t operator()(const CircuitKey& k) const noexcept {
+      return std::hash<const void*>{}(k.conn) ^
+             std::hash<std::uint32_t>{}(k.circ_id) * 0x9E3779B9u;
+    }
+  };
+
+  struct Circuit {
+    ConnPtr in_conn;
+    std::uint32_t in_circ = 0;
+    HopCrypto crypto;
+    ConnPtr out_conn;            // set once extended
+    std::uint32_t out_circ = 0;
+    std::unordered_map<std::uint16_t, transport::Stream::Ptr> exit_streams;
+  };
+  using CircuitPtr = std::shared_ptr<Circuit>;
+
+  void acceptLink(transport::Stream::Ptr stream);
+  void onCell(const ConnPtr& conn, Cell cell);
+  void handleRecognized(const CircuitPtr& circuit, RelayPayload relay);
+  void handleExtend(const CircuitPtr& circuit, const RelayPayload& relay);
+  void handleBegin(const CircuitPtr& circuit, const RelayPayload& relay);
+  void sendBackward(const CircuitPtr& circuit, const RelayPayload& relay);
+  void sendOnConn(const ConnPtr& conn, const Cell& cell);
+  void destroyCircuit(const CircuitPtr& circuit, bool notify_in,
+                      bool notify_out);
+
+  transport::HostStack& stack_;
+  TorRelayOptions options_;
+  dns::Resolver resolver_;
+  http::TlsAcceptor acceptor_;
+  transport::TcpListener::Ptr listener_;
+  std::unordered_set<ConnPtr> conns_;
+  std::unordered_map<CircuitKey, CircuitPtr, CircuitKeyHash> circuits_;
+  std::uint32_t next_out_circ_ = 0x80000001;
+  std::uint64_t cells_ = 0;
+  std::uint64_t exited_ = 0;
+};
+
+}  // namespace sc::tor

@@ -1,0 +1,91 @@
+// CipherStream: AES-256-CFB encryption layered over any Stream, with the
+// Shadowsocks-style convention that each direction is prefixed by its 16-byte
+// IV. Used by Shadowsocks (ss-local <-> ss-remote) and by the ScholarCloud
+// tunnel's inner encryption layer.
+#pragma once
+
+#include <memory>
+
+#include "crypto/aes.h"
+#include "transport/stream.h"
+
+namespace sc::transport {
+
+class CipherStream final : public Stream,
+                           public std::enable_shared_from_this<CipherStream> {
+ public:
+  using Ptr = std::shared_ptr<CipherStream>;
+
+  // `tx_iv` must be 16 bytes; it is transmitted ahead of the first payload.
+  static Ptr wrap(Stream::Ptr inner, Bytes key, Bytes tx_iv) {
+    auto s = Ptr(new CipherStream(std::move(inner), std::move(key),
+                                  std::move(tx_iv)));
+    s->hook();
+    return s;
+  }
+
+  void send(Bytes data) override {
+    if (inner_ == nullptr) return;
+    Bytes out;
+    if (!iv_sent_) {
+      iv_sent_ = true;
+      out = tx_iv_;
+    }
+    appendBytes(out, encryptor_.encrypt(data));
+    inner_->send(std::move(out));
+  }
+
+  void close() override {
+    if (inner_ != nullptr) {
+      inner_->setOnData(nullptr);
+      inner_->setOnClose(nullptr);
+      inner_->close();
+      inner_ = nullptr;
+    }
+  }
+
+  bool connected() const override {
+    return inner_ != nullptr && inner_->connected();
+  }
+
+ private:
+  CipherStream(Stream::Ptr inner, Bytes key, Bytes tx_iv)
+      : inner_(std::move(inner)),
+        key_(std::move(key)),
+        tx_iv_(std::move(tx_iv)),
+        encryptor_(key_, tx_iv_) {}
+
+  void hook() {
+    auto self = shared_from_this();
+    inner_->setOnData([self](ByteView data) { self->onInner(data); });
+    inner_->setOnClose([self] {
+      self->inner_ = nullptr;
+      self->emitClose();
+    });
+  }
+
+  void onInner(ByteView data) {
+    std::size_t off = 0;
+    if (decryptor_ == nullptr) {
+      // Accumulate the peer's IV before any payload can be decrypted.
+      while (rx_iv_.size() < crypto::kAesBlockSize && off < data.size())
+        rx_iv_.push_back(data[off++]);
+      if (rx_iv_.size() < crypto::kAesBlockSize) return;
+      decryptor_ = std::make_unique<crypto::AesCfbStream>(key_, rx_iv_);
+    }
+    if (off >= data.size()) return;
+    const Bytes plain =
+        decryptor_->decrypt(ByteView(data.data() + off, data.size() - off));
+    emitData(plain);
+  }
+
+  Stream::Ptr inner_;
+  Bytes key_;
+  Bytes tx_iv_;
+  Bytes rx_iv_;
+  bool iv_sent_ = false;
+  crypto::AesCfbStream encryptor_;
+  std::unique_ptr<crypto::AesCfbStream> decryptor_;
+};
+
+}  // namespace sc::transport

@@ -1,0 +1,117 @@
+// Stream: the byte-stream abstraction every layer composes over.
+//
+// TcpSocket implements it directly; TLS sessions, SOCKS tunnels, Tor streams
+// and the ScholarCloud blinded tunnel all wrap another Stream and re-expose
+// the same interface, so the HTTP client/browser is agnostic to how many
+// layers of proxying/encryption sit underneath.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace sc::transport {
+
+class Stream {
+ public:
+  using Ptr = std::shared_ptr<Stream>;
+  using DataHandler = std::function<void(ByteView)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~Stream() = default;
+
+  virtual void send(Bytes data) = 0;
+  virtual void close() = 0;
+  virtual bool connected() const = 0;
+
+  // Data arriving while no handler is installed is buffered and flushed to
+  // the next handler — so a stream can be handed between owners (proxy
+  // bridging, connection pools, 0-RTT tunnel opens) without losing bytes.
+  void setOnData(DataHandler h) {
+    on_data_ = std::move(h);
+    if (on_data_ && !pending_.empty()) {
+      // Invoke through a copy: the handler may replace itself while running
+      // (proxy handovers do this), which would otherwise destroy the
+      // closure mid-execution.
+      auto handler = on_data_;
+      Bytes buffered;
+      buffered.swap(pending_);
+      handler(buffered);
+    }
+  }
+  void setOnClose(CloseHandler h) { on_close_ = std::move(h); }
+
+ protected:
+  void emitData(ByteView data) {
+    if (on_data_) {
+      auto handler = on_data_;  // see setOnData: survive self-replacement
+      handler(data);
+    } else {
+      pending_.insert(pending_.end(), data.begin(), data.end());
+    }
+  }
+  void emitClose() {
+    // Move out first: a close handler commonly destroys this stream.
+    if (auto h = std::move(on_close_)) h();
+  }
+
+ private:
+  DataHandler on_data_;
+  CloseHandler on_close_;
+  Bytes pending_;
+};
+
+// Where to connect: by address, or by name (proxies resolve names remotely —
+// the property that lets SOCKS-based methods sidestep local DNS poisoning).
+struct ConnectTarget {
+  std::string host;  // empty when connecting by address
+  net::Ipv4 ip;
+  net::Port port = 0;
+
+  bool byName() const noexcept { return !host.empty(); }
+  static ConnectTarget byAddress(net::Endpoint ep) {
+    return ConnectTarget{"", ep.ip, ep.port};
+  }
+  static ConnectTarget byHostname(std::string host, net::Port port) {
+    return ConnectTarget{std::move(host), net::Ipv4{}, port};
+  }
+  std::string str() const {
+    return (byName() ? host : ip.str()) + ":" + std::to_string(port);
+  }
+};
+
+// Asynchronous connection factory. Implementations: direct TCP, TLS-over-X,
+// SOCKS5-over-X, Tor circuits, ScholarCloud tunnel.
+class Connector {
+ public:
+  using Ptr = std::shared_ptr<Connector>;
+  // On failure the callback receives nullptr.
+  using ConnectHandler = std::function<void(Stream::Ptr)>;
+
+  virtual ~Connector() = default;
+  virtual void connect(ConnectTarget target, ConnectHandler cb) = 0;
+};
+
+// Splices two streams together (a classic proxy data pump): everything
+// received on one is forwarded to the other; a close on either side closes
+// both. Returns nothing; the lambdas keep both streams alive until close.
+inline void bridgeStreams(Stream::Ptr a, Stream::Ptr b) {
+  a->setOnData([b](ByteView data) { b->send(Bytes(data.begin(), data.end())); });
+  b->setOnData([a](ByteView data) { a->send(Bytes(data.begin(), data.end())); });
+  a->setOnClose([a_weak = std::weak_ptr(a), b] {
+    b->close();
+    if (auto s = a_weak.lock()) {
+      s->setOnData(nullptr);
+    }
+  });
+  b->setOnClose([b_weak = std::weak_ptr(b), a] {
+    a->close();
+    if (auto s = b_weak.lock()) {
+      s->setOnData(nullptr);
+    }
+  });
+}
+
+}  // namespace sc::transport

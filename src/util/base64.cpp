@@ -1,0 +1,79 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace sc {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> makeReverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) rev[static_cast<unsigned char>(kAlphabet[i])] = i;
+  return rev;
+}
+const std::array<int, 256> kReverse = makeReverse();
+}  // namespace
+
+std::string base64Encode(ByteView in) {
+  std::string out;
+  out.reserve((in.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= in.size(); i += 3) {
+    const std::uint32_t n = std::uint32_t{in[i]} << 16 |
+                            std::uint32_t{in[i + 1]} << 8 | in[i + 2];
+    out.push_back(kAlphabet[n >> 18 & 63]);
+    out.push_back(kAlphabet[n >> 12 & 63]);
+    out.push_back(kAlphabet[n >> 6 & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  const std::size_t rem = in.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = std::uint32_t{in[i]} << 16;
+    out.push_back(kAlphabet[n >> 18 & 63]);
+    out.push_back(kAlphabet[n >> 12 & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n =
+        std::uint32_t{in[i]} << 16 | std::uint32_t{in[i + 1]} << 8;
+    out.push_back(kAlphabet[n >> 18 & 63]);
+    out.push_back(kAlphabet[n >> 12 & 63]);
+    out.push_back(kAlphabet[n >> 6 & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64Decode(std::string_view in) {
+  if (in.size() % 4 != 0) return {};
+  Bytes out;
+  out.reserve(in.size() / 4 * 3);
+  for (std::size_t i = 0; i < in.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = in[i + k];
+      if (c == '=') {
+        // Padding may only appear in the last group, trailing positions.
+        if (i + 4 != in.size() || k < 2) return {};
+        vals[k] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return {};  // data after padding
+        vals[k] = kReverse[static_cast<unsigned char>(c)];
+        if (vals[k] < 0) return {};
+      }
+    }
+    const std::uint32_t n = std::uint32_t(vals[0]) << 18 |
+                            std::uint32_t(vals[1]) << 12 |
+                            std::uint32_t(vals[2]) << 6 | std::uint32_t(vals[3]);
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+}  // namespace sc

@@ -1,0 +1,16 @@
+// Base64 codec (RFC 4648). Used by the meek transport (payloads smuggled in
+// HTTP bodies) and by PKI certificate serialization.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sc {
+
+std::string base64Encode(ByteView in);
+
+// Returns empty on malformed input (invalid characters / bad padding).
+Bytes base64Decode(std::string_view in);
+
+}  // namespace sc

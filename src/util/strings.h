@@ -1,0 +1,24 @@
+// Small string utilities used by the HTTP codec, PAC evaluator and DNS.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc {
+
+std::vector<std::string> splitString(std::string_view s, char sep);
+std::string_view trimWhitespace(std::string_view s);
+std::string toLower(std::string_view s);
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+bool iequals(std::string_view a, std::string_view b);
+
+// Shell-style glob used by PAC shExpMatch(): '*' matches any run, '?' one char.
+bool shExpMatch(std::string_view text, std::string_view pattern);
+
+// True when `host` equals `domain` or is a subdomain of it
+// (PAC dnsDomainIs semantics: suffix match on dot boundary).
+bool dnsDomainIs(std::string_view host, std::string_view domain);
+
+}  // namespace sc

@@ -1,0 +1,120 @@
+#include "vpn/tunnel_common.h"
+
+namespace sc::vpn {
+
+TunDevice::TunDevice(net::Node& node, net::Ipv4 inner_ip, EncapFn encap,
+                     BypassFn bypass)
+    : node_(node),
+      inner_ip_(inner_ip),
+      encap_(std::move(encap)),
+      bypass_(std::move(bypass)) {
+  node_.addVirtualIp(inner_ip_);
+  node_.setPreferredSource(inner_ip_);
+  node_.setEgressHook([this](net::Packet& pkt) {
+    if (bypass_ && bypass_(pkt)) return false;
+    ++captured_;
+    encap_(net::Packet(pkt));
+    return true;
+  });
+}
+
+TunDevice::~TunDevice() {
+  node_.clearEgressHook();
+  node_.clearPreferredSource();
+  node_.removeVirtualIp(inner_ip_);
+}
+
+void TunDevice::injectInbound(net::Packet&& inner) {
+  node_.deliverLocal(std::move(inner));
+}
+
+// --------------------------------------------------------------------- NAT
+
+std::size_t VpnNat::FlowKeyHash::operator()(const FlowKey& k) const noexcept {
+  std::size_t h = std::hash<std::uint64_t>{}(k.session_id);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= std::hash<std::uint64_t>{}(v) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+  };
+  mix(std::uint64_t{k.inner_ip.v} << 16 | k.inner_port);
+  mix(std::uint64_t{k.remote_ip.v} << 16 | k.remote_port);
+  mix(k.proto);
+  return h;
+}
+
+VpnNat::VpnNat(transport::HostStack& stack, net::Port lo, net::Port hi,
+               double cycles_per_packet, double cycles_per_byte)
+    : stack_(stack),
+      lo_(lo),
+      hi_(hi),
+      cycles_per_packet_(cycles_per_packet),
+      cycles_per_byte_(cycles_per_byte),
+      next_(lo) {
+  stack_.setPortCapture(lo_, hi_,
+                        [this](const net::Packet& pkt) { onCaptured(pkt); });
+}
+
+VpnNat::~VpnNat() { stack_.clearPortCapture(lo_, hi_); }
+
+void VpnNat::setPort(net::Packet& pkt, bool src_side, net::Port port) {
+  if (pkt.isTcp()) {
+    (src_side ? pkt.tcp().src_port : pkt.tcp().dst_port) = port;
+  } else if (pkt.isUdp()) {
+    (src_side ? pkt.udp().src_port : pkt.udp().dst_port) = port;
+  }
+}
+
+void VpnNat::forwardOutbound(net::Packet inner, std::uint64_t session_id) {
+  if (!inner.isTcp() && !inner.isUdp()) return;  // only L4 flows are NATed
+
+  const FlowKey key{session_id, inner.src, inner.srcPort(), inner.dst,
+                    inner.dstPort(), static_cast<std::uint8_t>(inner.proto)};
+  net::Port nat_port = 0;
+  const auto it = by_flow_.find(key);
+  if (it != by_flow_.end()) {
+    nat_port = it->second;
+  } else {
+    // Allocate the next free port in the captured range.
+    for (net::Port probe = 0; probe < hi_ - lo_; ++probe) {
+      const net::Port candidate =
+          static_cast<net::Port>(lo_ + (next_ - lo_ + probe) % (hi_ - lo_));
+      if (!by_nat_port_.contains(candidate)) {
+        nat_port = candidate;
+        break;
+      }
+    }
+    if (nat_port == 0) return;  // table full: drop
+    next_ = static_cast<net::Port>(nat_port + 1);
+    if (next_ >= hi_) next_ = lo_;
+    by_flow_[key] = nat_port;
+    by_nat_port_[nat_port] =
+        Mapping{session_id, inner.src, inner.srcPort()};
+  }
+
+  inner.src = stack_.node().primaryIp();
+  setPort(inner, /*src_side=*/true, nat_port);
+  inner.id = 0;  // re-originate from the VPN server
+  // Decapsulation + NAT costs CPU on the single-core VM. The queue is FIFO,
+  // so packet order is preserved through the charge.
+  const double cycles =
+      cycles_per_packet_ + cycles_per_byte_ * static_cast<double>(inner.payload.size());
+  stack_.cpu().submit(cycles, [this, inner = std::move(inner)]() mutable {
+    stack_.node().send(std::move(inner));
+  });
+}
+
+void VpnNat::onCaptured(const net::Packet& pkt) {
+  const auto it = by_nat_port_.find(pkt.dstPort());
+  if (it == by_nat_port_.end()) return;
+  const Mapping& m = it->second;
+  net::Packet inner = pkt;
+  inner.dst = m.inner_ip;
+  setPort(inner, /*src_side=*/false, m.inner_port);
+  const double cycles =
+      cycles_per_packet_ + cycles_per_byte_ * static_cast<double>(inner.payload.size());
+  stack_.cpu().submit(cycles, [this, m, inner = std::move(inner)]() mutable {
+    if (return_fn_) return_fn_(m.session_id, std::move(inner));
+  });
+}
+
+}  // namespace sc::vpn

@@ -1,0 +1,103 @@
+// Shared full-tunnel VPN machinery.
+//
+// TunDevice (client): hooks the node's egress so *all* locally-originated
+// traffic — including DNS and domestic-site connections — is handed to the
+// tunnel. This is precisely the paper's usability complaint about native
+// VPN: domestic traffic detours through the US server, so users "frequently
+// and manually reconfigure their network connections".
+//
+// VpnNat (server): rewrites decapsulated inner packets onto the server's
+// public address from a captured port range and routes the replies back to
+// the owning session.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "transport/host_stack.h"
+
+namespace sc::vpn {
+
+class TunDevice {
+ public:
+  using EncapFn = std::function<void(net::Packet&&)>;
+  // Returns true for packets that must NOT enter the tunnel (the tunnel's
+  // own outer traffic).
+  using BypassFn = std::function<bool(const net::Packet&)>;
+
+  TunDevice(net::Node& node, net::Ipv4 inner_ip, EncapFn encap,
+            BypassFn bypass);
+  ~TunDevice();
+
+  TunDevice(const TunDevice&) = delete;
+  TunDevice& operator=(const TunDevice&) = delete;
+
+  // Decapsulated tunnel->client packet re-enters the local stack.
+  void injectInbound(net::Packet&& inner);
+
+  net::Ipv4 innerIp() const noexcept { return inner_ip_; }
+  std::uint64_t packetsCaptured() const noexcept { return captured_; }
+
+ private:
+  net::Node& node_;
+  net::Ipv4 inner_ip_;
+  EncapFn encap_;
+  BypassFn bypass_;
+  std::uint64_t captured_ = 0;
+};
+
+class VpnNat {
+ public:
+  // Reply packets (already translated back to inner addressing) are handed
+  // to this callback along with the owning session id for encapsulation.
+  using ReturnFn = std::function<void(std::uint64_t session_id, net::Packet&&)>;
+
+  // `cycles_per_packet`/`cycles_per_byte` charge the server's single-core
+  // CPU for decapsulation+NAT work — the term that bends Fig. 7's curves.
+  VpnNat(transport::HostStack& stack, net::Port lo = 20000,
+         net::Port hi = 40000, double cycles_per_packet = 5e4,
+         double cycles_per_byte = 15.0);
+  ~VpnNat();
+
+  void setReturnPath(ReturnFn fn) { return_fn_ = std::move(fn); }
+
+  // Translates and forwards an inner packet received from `session_id`.
+  void forwardOutbound(net::Packet inner, std::uint64_t session_id);
+
+  std::size_t activeMappings() const noexcept { return by_nat_port_.size(); }
+
+ private:
+  void onCaptured(const net::Packet& pkt);
+  void setPort(net::Packet& pkt, bool src_side, net::Port port);
+
+  struct Mapping {
+    std::uint64_t session_id = 0;
+    net::Ipv4 inner_ip;
+    net::Port inner_port = 0;
+  };
+  struct FlowKey {
+    std::uint64_t session_id;
+    net::Ipv4 inner_ip;
+    net::Port inner_port;
+    net::Ipv4 remote_ip;
+    net::Port remote_port;
+    std::uint8_t proto;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept;
+  };
+
+  transport::HostStack& stack_;
+  net::Port lo_;
+  net::Port hi_;
+  double cycles_per_packet_;
+  double cycles_per_byte_;
+  net::Port next_ = 0;
+  ReturnFn return_fn_;
+  std::unordered_map<net::Port, Mapping> by_nat_port_;
+  std::unordered_map<FlowKey, net::Port, FlowKeyHash> by_flow_;
+};
+
+}  // namespace sc::vpn

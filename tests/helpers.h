@@ -1,0 +1,32 @@
+// Shared fixtures: a minimal two-host world (client in China, server in the
+// US, GFW-capable border) used by transport/http/method unit tests that
+// don't need the full measurement Testbed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "transport/host_stack.h"
+
+namespace sc::test {
+
+struct MiniWorld {
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::World world{network};
+  net::Node& client_node{world.addCampusHost("client")};
+  net::Node& server_node{world.addUsServer("server")};
+  transport::HostStack client{client_node};
+  transport::HostStack server{server_node};
+
+  explicit MiniWorld(std::uint64_t seed = 7) : sim(seed) {}
+
+  // Runs until `done` is true; fails the test on timeout.
+  void runUntilDone(const std::function<bool()>& done,
+                    sim::Time budget = 2 * sim::kMinute) {
+    ASSERT_TRUE(sim.runWhile(done, sim.now() + budget))
+        << "simulation timed out after " << sim::toSeconds(budget) << "s";
+  }
+};
+
+}  // namespace sc::test

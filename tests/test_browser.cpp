@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "dns/server.h"
+#include "helpers.h"
+#include "http/browser.h"
+#include "http/origin.h"
+
+namespace sc::http {
+namespace {
+
+using test::MiniWorld;
+
+struct BrowserWorld : MiniWorld {
+  net::Node& dns_node{world.addUsServer("dns")};
+  transport::HostStack dns_stack{dns_node};
+  dns::DnsServer dns_server{dns_stack};
+  WebOrigin origin{server, PageSpec::scholarDefault()};
+  std::unique_ptr<Browser> browser;
+
+  BrowserWorld() {
+    dns_server.addRecord("scholar.google.com", server_node.primaryIp());
+    BrowserOptions opts;
+    opts.dns_server = dns_node.primaryIp();
+    browser = std::make_unique<Browser>(client, opts);
+  }
+
+  PageLoadResult load(const std::string& host = "scholar.google.com") {
+    PageLoadResult result;
+    bool done = false;
+    browser->loadPage(host, [&](PageLoadResult r) {
+      done = true;
+      result = r;
+    });
+    runUntilDone([&] { return done; });
+    return result;
+  }
+};
+
+TEST(Browser, FirstVisitWalksRedirectAndLoadsEverything) {
+  BrowserWorld w;
+  const auto result = w.load();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.first_visit);
+  // 5 subresources + the account-recording fetch.
+  EXPECT_EQ(result.resources, 6);
+  EXPECT_EQ(result.cache_hits, 0);
+  EXPECT_EQ(w.origin.pageViews(), 1u);
+  EXPECT_EQ(w.origin.accountRecords(), 1u);
+  // The scheme-less navigation hit port 80 first (TCP 2).
+  EXPECT_GE(w.origin.httpServer().requestsServed(), 1u);
+}
+
+TEST(Browser, SubsequentVisitUsesCachesAndSkipsRecording) {
+  BrowserWorld w;
+  (void)w.load();
+  w.sim.runUntil(w.sim.now() + sim::kMinute);
+  const std::uint64_t http_before = w.origin.httpServer().requestsServed();
+  const auto second = w.load();
+  EXPECT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.first_visit);
+  EXPECT_EQ(second.resources, 5);          // no account fetch
+  EXPECT_EQ(second.cache_hits, 5);         // 304 revalidations
+  EXPECT_EQ(w.origin.accountRecords(), 1u);  // still just the first one
+  // HSTS remembered: no second trip through port 80.
+  EXPECT_EQ(w.origin.httpServer().requestsServed(), http_before);
+}
+
+TEST(Browser, SubsequentVisitIsFaster) {
+  BrowserWorld w;
+  const auto first = w.load();
+  w.sim.runUntil(w.sim.now() + sim::kMinute);
+  const auto second = w.load();
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_LT(second.plt, first.plt);
+}
+
+TEST(Browser, ClearCachesRestoresFirstVisitBehaviour) {
+  BrowserWorld w;
+  (void)w.load();
+  w.browser->clearCaches();
+  const auto again = w.load();
+  EXPECT_TRUE(again.first_visit);
+  EXPECT_EQ(w.origin.accountRecords(), 2u);
+}
+
+TEST(Browser, FailsCleanlyOnUnresolvableHost) {
+  BrowserWorld w;
+  const auto result = w.load("nonexistent.example");
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Browser, PingOriginMeasuresRoundTrip) {
+  BrowserWorld w;
+  std::optional<sim::Time> rtt;
+  bool done = false;
+  w.browser->pingOrigin("scholar.google.com", [&](std::optional<sim::Time> t) {
+    done = true;
+    rtt = t;
+  });
+  w.runUntilDone([&] { return done; });
+  ASSERT_TRUE(rtt.has_value());
+  // One warm-connection round trip across the ~140 ms trans-Pacific path.
+  EXPECT_GT(*rtt, 100 * sim::kMillisecond);
+  EXPECT_LT(*rtt, 500 * sim::kMillisecond);
+}
+
+TEST(Browser, HttpProxyAbsoluteFormAndConnect) {
+  BrowserWorld w;
+  // Forwarding proxy on the dns host (it has spare capacity).
+  ServerOptions popts;
+  popts.port = 8080;
+  HttpServer proxy(w.dns_stack, popts);
+  std::uint64_t proxied = 0;
+  proxy.setDefaultHandler([&](const Request& req,
+                              HttpServer::Respond respond) {
+    ++proxied;
+    const auto url = Url::parse(req.target);
+    if (!url) {
+      Response resp;
+      resp.status = 400;
+      respond(std::move(resp));
+      return;
+    }
+    auto respond_shared = std::make_shared<HttpServer::Respond>(
+        std::move(respond));
+    w.dns_stack.directConnector()->connect(
+        transport::ConnectTarget::byAddress(
+            {w.server_node.primaryIp(), url->port}),
+        [&, req, url, respond_shared](transport::Stream::Ptr upstream) {
+          ASSERT_NE(upstream, nullptr);
+          Request fwd = req;
+          fwd.target = url->path;
+          HttpClient::fetchOn(upstream, w.sim, fwd, sim::kMinute,
+                              [respond_shared](std::optional<Response> r) {
+                                ASSERT_TRUE(r.has_value());
+                                (*respond_shared)(std::move(*r));
+                              });
+        });
+  });
+  proxy.setConnectHandler([&](const Request&, transport::Stream::Ptr client,
+                              HttpServer::Respond respond) {
+    ++proxied;
+    w.dns_stack.directConnector()->connect(
+        transport::ConnectTarget::byAddress({w.server_node.primaryIp(), 443}),
+        [client, respond](transport::Stream::Ptr upstream) {
+          ASSERT_NE(upstream, nullptr);
+          Response ok;
+          ok.status = 200;
+          ok.reason = "Connection Established";
+          respond(ok);
+          transport::bridgeStreams(client, upstream);
+        });
+  });
+
+  w.browser->setFixedProxy(
+      ProxyDecision::httpProxy({w.dns_node.primaryIp(), 8080}));
+  const auto result = w.load();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(proxied, 0u);
+}
+
+TEST(Browser, PacSelectsPerHost) {
+  BrowserWorld w;
+  PacScript pac;
+  pac.addDomainRule("proxied.example",
+                    ProxyDecision::httpProxy({net::Ipv4(203, 0, 1, 77), 1}));
+  pac.setDefault(ProxyDecision::direct());
+  w.browser->setPac(pac);
+  EXPECT_EQ(w.browser->decisionFor("scholar.google.com"),
+            ProxyDecision::direct());
+  EXPECT_EQ(w.browser->decisionFor("proxied.example").kind,
+            ProxyKind::kHttpProxy);
+  // Direct hosts still load fine with the PAC installed.
+  const auto result = w.load();
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(Browser, LoadsPacFromUrlByIpLiteral) {
+  BrowserWorld w;
+  ServerOptions popts;
+  popts.port = 8080;
+  HttpServer pac_server(w.dns_stack, popts);
+  PacScript pac;
+  pac.addDomainRule("scholar.google.com",
+                    ProxyDecision::httpProxy({w.dns_node.primaryIp(), 8080}));
+  pac.setDefault(ProxyDecision::direct());
+  pac_server.route("/proxy.pac",
+                   [&pac](const Request&, HttpServer::Respond respond) {
+                     Response resp;
+                     resp.body = toBytes(pac.toJavaScript());
+                     respond(std::move(resp));
+                   });
+  Url pac_url;
+  pac_url.scheme = "http";
+  pac_url.host = w.dns_node.primaryIp().str();
+  pac_url.port = 8080;
+  pac_url.path = "/proxy.pac";
+
+  bool done = false, ok = false;
+  w.browser->loadPacFrom(pac_url, [&](bool r) {
+    done = true;
+    ok = r;
+  });
+  w.runUntilDone([&] { return done; });
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(w.browser->decisionFor("scholar.google.com").kind,
+            ProxyKind::kHttpProxy);
+  EXPECT_EQ(w.browser->decisionFor("other.example"), ProxyDecision::direct());
+}
+
+TEST(Browser, BadPacUrlReportsFailure) {
+  BrowserWorld w;
+  Url bad;
+  bad.scheme = "http";
+  bad.host = "1.2.3.4";  // nothing there
+  bad.port = 8080;
+  bad.path = "/proxy.pac";
+  bool done = false, ok = true;
+  w.browser->loadPacFrom(bad, [&](bool r) {
+    done = true;
+    ok = r;
+  });
+  w.runUntilDone([&] { return done; }, 3 * sim::kMinute);
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace sc::http
+
+namespace sc::http {
+namespace {
+
+TEST(Browser, HostsFileOverrideSkipsDns) {
+  // Fig. 3's "other methods": pin the name in /etc/hosts and skip DNS.
+  test::MiniWorld w;
+  WebOrigin origin(w.server, PageSpec::scholarDefault());
+  BrowserOptions opts;
+  opts.dns_server = net::Ipv4(1, 2, 3, 4);  // a dead resolver on purpose
+  opts.hosts_overrides["scholar.google.com"] = w.server_node.primaryIp();
+  Browser browser(w.client, opts);
+
+  PageLoadResult result;
+  bool done = false;
+  browser.loadPage("scholar.google.com", [&](PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  w.runUntilDone([&] { return done; });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(browser.resolver().queriesSent(), 0u);
+}
+
+TEST(Browser, HostsOverrideIsCaseInsensitive) {
+  test::MiniWorld w;
+  WebOrigin origin(w.server, PageSpec::scholarDefault());
+  BrowserOptions opts;
+  opts.dns_server = net::Ipv4(1, 2, 3, 4);
+  opts.hosts_overrides["scholar.google.com"] = w.server_node.primaryIp();
+  Browser browser(w.client, opts);
+  bool done = false;
+  PageLoadResult result;
+  browser.loadPage("SCHOLAR.GOOGLE.COM", [&](PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  w.runUntilDone([&] { return done; });
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+}  // namespace
+}  // namespace sc::http

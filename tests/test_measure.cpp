@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "measure/campaign.h"
+#include "measure/report.h"
+#include "measure/resource_model.h"
+#include "measure/stats.h"
+
+namespace sc::measure {
+namespace {
+
+// ---- Samples / Summary ----
+
+TEST(Stats, SummaryOfKnownValues) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  const Summary sum = s.summarize();
+  EXPECT_EQ(sum.n, 5u);
+  EXPECT_DOUBLE_EQ(sum.mean, 3.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 5.0);
+  EXPECT_DOUBLE_EQ(sum.p50, 3.0);
+  EXPECT_NEAR(sum.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  Samples empty;
+  EXPECT_EQ(empty.summarize().n, 0u);
+  Samples one;
+  one.add(7.0);
+  const Summary sum = one.summarize();
+  EXPECT_EQ(sum.n, 1u);
+  EXPECT_DOUBLE_EQ(sum.mean, 7.0);
+  EXPECT_DOUBLE_EQ(sum.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p95, 7.0);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const Summary sum = s.summarize();
+  EXPECT_NEAR(sum.p50, 50.5, 0.01);
+  EXPECT_NEAR(sum.p95, 95.05, 0.1);
+}
+
+TEST(Stats, FormatMentionsAllFields) {
+  Samples s;
+  s.add(1.5);
+  s.add(2.5);
+  const std::string text = formatSummary(s.summarize(), "sec");
+  EXPECT_NE(text.find("mean 2.00 sec"), std::string::npos);
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+}
+
+// ---- resource models: structural orderings, not magic numbers ----
+
+CampaignResult fakeCampaign(Method m, std::uint64_t bytes, double plt_sub) {
+  CampaignResult c;
+  c.method = m;
+  c.setup_ok = true;
+  c.successes = 10;
+  c.client_bytes = bytes * 10;
+  Samples plt;
+  plt.add(plt_sub);
+  c.plt_sub_s = plt.summarize();
+  c.connections_estimate = 8;
+  return c;
+}
+
+TEST(ResourceModel, CpuOrderingMatchesFig6b) {
+  // Same wire volume everywhere: ordering must come from the structure
+  // (client-side crypto or not, Tor's heavier build and cell work).
+  const auto vpn = modelCpu(fakeCampaign(Method::kNativeVpn, 30000, 1.2));
+  const auto ovpn = modelCpu(fakeCampaign(Method::kOpenVpn, 30000, 1.2));
+  const auto tor = modelCpu(fakeCampaign(Method::kTor, 30000, 2.8));
+  const auto ss = modelCpu(fakeCampaign(Method::kShadowsocks, 30000, 2.0));
+  EXPECT_LT(vpn.total(), ovpn.total());
+  EXPECT_LT(ovpn.total(), tor.total());
+  EXPECT_LT(ss.total(), tor.total());
+  // Extra-client daemons exist only for OpenVPN and Shadowsocks, and their
+  // cost is a small fraction of the browser's (the paper: "trivial").
+  EXPECT_EQ(vpn.extra_client_pct, 0.0);
+  EXPECT_GT(ovpn.extra_client_pct, 0.0);
+  EXPECT_LT(ovpn.extra_client_pct, ovpn.browser_pct / 2);
+}
+
+TEST(ResourceModel, CpuScalesWithTraffic) {
+  const auto light = modelCpu(fakeCampaign(Method::kOpenVpn, 10000, 1.2));
+  const auto heavy = modelCpu(fakeCampaign(Method::kOpenVpn, 80000, 1.2));
+  EXPECT_GT(heavy.total(), light.total());
+}
+
+TEST(ResourceModel, MemoryOrderingMatchesFig6c) {
+  const auto vpn = modelMemory(fakeCampaign(Method::kNativeVpn, 30000, 1.2));
+  const auto tor = modelMemory(fakeCampaign(Method::kTor, 30000, 2.8));
+  const auto ss = modelMemory(fakeCampaign(Method::kShadowsocks, 30000, 2.0));
+  // Tor Browser idles far above Chrome (the paper's ~70% gap).
+  EXPECT_GT(tor.before_mb, vpn.before_mb * 1.5);
+  // And grows the most while browsing.
+  EXPECT_GT(tor.delta(), vpn.delta());
+  EXPECT_GT(tor.delta(), ss.delta());
+  // Everyone grows by something.
+  EXPECT_GT(vpn.delta(), 10.0);
+}
+
+TEST(ResourceModel, CryptoFractionStructure) {
+  EXPECT_EQ(clientCryptoFraction(Method::kNativeVpn), 0.0);   // kernel PPTP
+  EXPECT_EQ(clientCryptoFraction(Method::kScholarCloud), 0.0);  // no client sw
+  EXPECT_EQ(clientCryptoFraction(Method::kOpenVpn), 1.0);
+  EXPECT_EQ(clientCryptoFraction(Method::kShadowsocks), 1.0);
+  EXPECT_TRUE(hasExtraClientProcess(Method::kOpenVpn));
+  EXPECT_TRUE(hasExtraClientProcess(Method::kShadowsocks));
+  EXPECT_FALSE(hasExtraClientProcess(Method::kScholarCloud));
+}
+
+// ---- Report ----
+
+TEST(Report, KeepsRowsInOrder) {
+  Report report("test", {"a", "b"});
+  report.addRow({"row1", {1.0, 2.0}});
+  report.addRow({"row2", {3.0, 4.0}});
+  ASSERT_EQ(report.rows().size(), 2u);
+  EXPECT_EQ(report.rows()[0].label, "row1");
+  EXPECT_EQ(report.rows()[1].values[1], 4.0);
+  report.print();  // exercises the formatter; output checked by eye in CI
+}
+
+// ---- campaign plumbing on a real (small) testbed ----
+
+TEST(Campaign, CollectsFirstAndSubsequentSeparately) {
+  Testbed tb;
+  CampaignOptions opts;
+  opts.accesses = 4;
+  opts.interval = 30 * sim::kSecond;
+  opts.measure_rtt = false;
+  const auto result = runAccessCampaign(tb, Method::kNativeVpn, 60, opts);
+  ASSERT_TRUE(result.setup_ok);
+  EXPECT_EQ(result.successes, 4);
+  EXPECT_EQ(result.plt_first_s.n, 1u);
+  EXPECT_EQ(result.plt_sub_s.n, 3u);
+  EXPECT_GT(result.plt_first_s.mean, result.plt_sub_s.mean);
+  EXPECT_GT(result.traffic_kb_per_access, 5.0);
+}
+
+TEST(Campaign, RttProbesProduceSamples) {
+  Testbed tb;
+  CampaignOptions opts;
+  opts.accesses = 6;
+  opts.interval = 30 * sim::kSecond;
+  opts.measure_rtt = true;
+  const auto result = runAccessCampaign(tb, Method::kNativeVpn, 61, opts);
+  ASSERT_TRUE(result.setup_ok);
+  EXPECT_GE(result.rtt_ms.n, 2u);
+  // Warm-connection round trip: near the trans-Pacific RTT, not several of.
+  EXPECT_GT(result.rtt_ms.mean, 100.0);
+  EXPECT_LT(result.rtt_ms.mean, 500.0);
+}
+
+TEST(Campaign, ColdCacheMakesEveryAccessFirstVisit) {
+  Testbed tb;
+  CampaignOptions opts;
+  opts.accesses = 3;
+  opts.interval = 30 * sim::kSecond;
+  opts.measure_rtt = false;
+  opts.cold_cache = true;
+  const auto result = runAccessCampaign(tb, Method::kOpenVpn, 62, opts);
+  ASSERT_TRUE(result.setup_ok);
+  EXPECT_EQ(result.plt_first_s.n, 3u);
+  EXPECT_EQ(result.plt_sub_s.n, 0u);
+}
+
+TEST(Scalability, MorePointsMoreLoad) {
+  ScalabilityOptions opts;
+  opts.client_counts = {2, 12};
+  opts.accesses_per_client = 3;
+  const auto points = runScalability(Method::kShadowsocks, opts);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].clients, 2);
+  EXPECT_EQ(points[1].clients, 12);
+  EXPECT_GT(points[0].plt_mean_s, 0.0);
+  EXPECT_EQ(points[0].failures, 0);
+}
+
+}  // namespace
+}  // namespace sc::measure

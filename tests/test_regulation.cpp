@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "regulation/mps_investigation.h"
+#include "regulation/tca_agency.h"
+#include "sim/simulator.h"
+
+namespace sc::regulation {
+namespace {
+
+IcpRecord completeApplication() {
+  IcpRecord rec;
+  rec.service_name = "ScholarCloud";
+  rec.domain = "scholar.thucloud.com";
+  rec.type = ServiceType::kWebProxy;
+  rec.company = "ThuCloud Network Technology Co., Ltd.";
+  rec.responsible_person = "Z. Lu";
+  rec.server_address = net::Ipv4(10, 3, 0, 1);
+  rec.biometric_document = true;
+  rec.service_documentation = true;
+  rec.user_guide = true;
+  rec.whitelist = {"scholar.google.com"};
+  return rec;
+}
+
+TEST(IcpRegistry, ApproveAssignsSequentialNumbers) {
+  IcpRegistry registry;
+  const std::string first = registry.approve(completeApplication());
+  EXPECT_EQ(first, "ICP-15063437");  // the paper's real registration number
+  auto second_rec = completeApplication();
+  second_rec.server_address = net::Ipv4(10, 3, 0, 2);
+  const std::string second = registry.approve(second_rec);
+  EXPECT_EQ(second, "ICP-15063438");
+  EXPECT_EQ(registry.activeRegistrations(), 2u);
+}
+
+TEST(IcpRegistry, LookupByAddressAndDomain) {
+  IcpRegistry registry;
+  registry.approve(completeApplication());
+  EXPECT_TRUE(registry.isRegistered(net::Ipv4(10, 3, 0, 1)));
+  EXPECT_FALSE(registry.isRegistered(net::Ipv4(10, 3, 0, 9)));
+  EXPECT_TRUE(registry.isRegisteredDomain("scholar.thucloud.com"));
+  EXPECT_TRUE(registry.isRegisteredDomain("SCHOLAR.THUCLOUD.COM"));
+  EXPECT_FALSE(registry.isRegisteredDomain("other.example"));
+}
+
+TEST(IcpRegistry, RevokeRemovesLeniency) {
+  IcpRegistry registry;
+  const std::string number = registry.approve(completeApplication());
+  registry.revoke(number, "carried unlisted content");
+  EXPECT_FALSE(registry.isRegistered(net::Ipv4(10, 3, 0, 1)));
+  EXPECT_EQ(registry.activeRegistrations(), 0u);
+  EXPECT_EQ(registry.lastRevocationReason(), "carried unlisted content");
+  EXPECT_EQ(registry.lookupByNumber(number)->status, RecordStatus::kRevoked);
+}
+
+TEST(IcpRegistry, WhitelistRemoval) {
+  IcpRegistry registry;
+  auto rec = completeApplication();
+  rec.whitelist = {"scholar.google.com", "sci-hub.se"};
+  const std::string number = registry.approve(rec);
+  EXPECT_TRUE(registry.removeFromWhitelist(number, "sci-hub.se"));
+  EXPECT_FALSE(registry.removeFromWhitelist(number, "sci-hub.se"));
+  EXPECT_EQ(registry.lookupByNumber(number)->whitelist.size(), 1u);
+}
+
+TEST(TcaAgency, ApprovesCompleteApplicationAfterWeeks) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  TcaAgency agency(sim, registry);
+  std::optional<TcaAgency::Decision> decision;
+  agency.submitApplication(completeApplication(),
+                           [&](TcaAgency::Decision d) { decision = d; });
+  // Nothing for the first three weeks: verification is manual and slow.
+  sim.runUntil(20 * sim::kDay);
+  EXPECT_FALSE(decision.has_value());
+  sim.run(120 * sim::kDay);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->approved);
+  EXPECT_FALSE(decision->icp_number.empty());
+  EXPECT_TRUE(registry.isRegistered(net::Ipv4(10, 3, 0, 1)));
+}
+
+TEST(TcaAgency, RejectsMissingDocuments) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  TcaAgency agency(sim, registry);
+
+  const auto submit_and_get = [&](IcpRecord rec) {
+    std::optional<TcaAgency::Decision> decision;
+    agency.submitApplication(std::move(rec),
+                             [&](TcaAgency::Decision d) { decision = d; });
+    sim.run(sim.now() + 200 * sim::kDay);
+    return decision;
+  };
+
+  auto no_bio = completeApplication();
+  no_bio.biometric_document = false;
+  auto d = submit_and_get(no_bio);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->approved);
+  EXPECT_NE(d->reason.find("biometric"), std::string::npos);
+
+  auto no_guide = completeApplication();
+  no_guide.user_guide = false;
+  d = submit_and_get(no_guide);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->approved);
+
+  auto no_whitelist = completeApplication();
+  no_whitelist.whitelist.clear();
+  d = submit_and_get(no_whitelist);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->approved);
+  EXPECT_NE(d->reason.find("whitelist"), std::string::npos);
+
+  EXPECT_EQ(registry.activeRegistrations(), 0u);
+}
+
+TEST(TcaAgency, RejectsVpnServicesUnderCurrentPolicy) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  TcaAgency agency(sim, registry);
+  auto vpn = completeApplication();
+  vpn.type = ServiceType::kVpn;
+  std::optional<TcaAgency::Decision> decision;
+  agency.submitApplication(vpn, [&](TcaAgency::Decision d) { decision = d; });
+  sim.run(200 * sim::kDay);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(decision->approved);
+  EXPECT_NE(decision->reason.find("VPN"), std::string::npos);
+}
+
+TEST(Mps, ShutsDownUnregisteredServiceAfterEvidence) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  MpsInvestigation mps(sim, registry);
+  std::optional<net::Ipv4> shut_down;
+  mps.setShutdownCallback(
+      [&](net::Ipv4 server, const std::string&) { shut_down = server; });
+
+  const net::Ipv4 rogue(203, 0, 1, 66);
+  for (int i = 0; i < 5; ++i) mps.reportService(rogue, "freeproxy.example");
+  EXPECT_FALSE(shut_down.has_value());  // investigation takes time
+  sim.run(60 * sim::kDay);
+  ASSERT_TRUE(shut_down.has_value());
+  EXPECT_EQ(*shut_down, rogue);
+  EXPECT_EQ(mps.shutdownsIssued(), 1u);
+}
+
+TEST(Mps, BelowEvidenceThresholdNothingHappens) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  MpsInvestigation mps(sim, registry);
+  bool any = false;
+  mps.setShutdownCallback([&](net::Ipv4, const std::string&) { any = true; });
+  for (int i = 0; i < 3; ++i)
+    mps.reportService(net::Ipv4(203, 0, 1, 66), "x.example");
+  sim.run(100 * sim::kDay);
+  EXPECT_FALSE(any);
+}
+
+TEST(Mps, RegisteredServicesAreNotTakedownTargets) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  registry.approve(completeApplication());
+  MpsInvestigation mps(sim, registry);
+  bool any = false;
+  mps.setShutdownCallback([&](net::Ipv4, const std::string&) { any = true; });
+  for (int i = 0; i < 10; ++i)
+    mps.reportService(net::Ipv4(10, 3, 0, 1), "scholar.thucloud.com");
+  sim.run(100 * sim::kDay);
+  EXPECT_FALSE(any);
+}
+
+TEST(Mps, CorporateVpnIsTolerated) {
+  // §2: transnational corporations' unregistered VPNs are left alone.
+  sim::Simulator sim;
+  IcpRegistry registry;
+  MpsInvestigation mps(sim, registry);
+  bool any = false;
+  mps.setShutdownCallback([&](net::Ipv4, const std::string&) { any = true; });
+  for (int i = 0; i < 10; ++i)
+    mps.reportService(net::Ipv4(203, 0, 1, 70), "corp-vpn.example",
+                      /*corporate_internal=*/true);
+  sim.run(100 * sim::kDay);
+  EXPECT_FALSE(any);
+}
+
+TEST(Mps, RegistrationDuringInvestigationCancelsShutdown) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  MpsInvestigation mps(sim, registry);
+  bool any = false;
+  mps.setShutdownCallback([&](net::Ipv4, const std::string&) { any = true; });
+  const net::Ipv4 server(10, 3, 0, 1);
+  for (int i = 0; i < 5; ++i) mps.reportService(server, "late.example");
+  // Operator registers while the case is open.
+  sim.runUntil(10 * sim::kDay);
+  registry.approve(completeApplication());
+  sim.run(100 * sim::kDay);
+  EXPECT_FALSE(any);
+}
+
+TEST(Mps, WhitelistAuditOrdersIllegalRemovals) {
+  sim::Simulator sim;
+  IcpRegistry registry;
+  auto rec = completeApplication();
+  rec.whitelist = {"scholar.google.com", "banned.example", "ieee.org"};
+  const std::string number = registry.approve(rec);
+  MpsInvestigation mps(sim, registry);
+  const auto removed = mps.auditWhitelist(number, {"banned.example"});
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], "banned.example");
+  EXPECT_EQ(registry.lookupByNumber(number)->whitelist.size(), 2u);
+  // Second audit: nothing left to remove.
+  EXPECT_TRUE(mps.auditWhitelist(number, {"banned.example"}).empty());
+}
+
+}  // namespace
+}  // namespace sc::regulation

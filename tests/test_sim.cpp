@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace sc::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.nextU64() == b.nextU64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformDoubleInRange) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.chance(0.044)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.044, 0.006);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(42);
+  std::vector<double> vals;
+  for (int i = 0; i < 20000; ++i) vals.push_back(rng.normal(10.0, 2.0));
+  double mean = 0;
+  for (double v : vals) mean += v;
+  mean /= static_cast<double>(vals.size());
+  double var = 0;
+  for (double v : vals) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(vals.size());
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, RandomBytesLengthAndVariety) {
+  Rng rng(42);
+  const Bytes b = rng.randomBytes(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  std::array<bool, 256> seen{};
+  for (auto byte : b) seen[byte] = true;
+  int distinct = 0;
+  for (bool s : seen) distinct += s;
+  EXPECT_GT(distinct, 200);
+}
+
+TEST(Rng, ForkedStreamsIndependentAndDeterministic) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.nextU64(), c1_again.nextU64());
+  EXPECT_NE(c1.nextU64(), c2.nextU64());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(10, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RunRespectsDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(1000, [&] { ++fired; });
+  sim.run(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.runUntil(12345);
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+TEST(Simulator, RunWhileStopsAtPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule(i * 10, [&] { ++count; });
+  EXPECT_TRUE(sim.runWhile([&] { return count >= 3; }, kSecond));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(sim.runWhile([&] { return count >= 100; }, kSecond));
+}
+
+}  // namespace
+}  // namespace sc::sim

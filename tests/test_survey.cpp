@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "survey/survey.h"
+
+namespace sc::survey {
+namespace {
+
+TEST(Survey, SynthesizedSetMatchesFig3Distribution) {
+  sim::Rng rng(2015);
+  const auto responses = synthesizeResponses(rng);
+  ASSERT_EQ(responses.size(), 371u);
+  const auto tab = tabulate(responses);
+
+  EXPECT_EQ(tab.total, 371);
+  EXPECT_NEAR(tab.bypassFraction(), 0.26, 0.005);
+  EXPECT_NEAR(tab.share(AccessMethod::kNativeVpn) +
+                  tab.share(AccessMethod::kOpenVpn),
+              0.43, 0.01);
+  EXPECT_NEAR(tab.nativeWithinVpn(), 0.93, 0.03);
+  EXPECT_NEAR(tab.share(AccessMethod::kTor), 0.02, 0.011);
+  EXPECT_NEAR(tab.share(AccessMethod::kShadowsocks), 0.21, 0.01);
+  EXPECT_NEAR(tab.share(AccessMethod::kOther), 0.34, 0.01);
+}
+
+TEST(Survey, SharesAmongBypassersSumToOne) {
+  sim::Rng rng(7);
+  const auto tab = tabulate(synthesizeResponses(rng));
+  const double total = tab.share(AccessMethod::kNativeVpn) +
+                       tab.share(AccessMethod::kOpenVpn) +
+                       tab.share(AccessMethod::kTor) +
+                       tab.share(AccessMethod::kShadowsocks) +
+                       tab.share(AccessMethod::kOther);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Survey, DeterministicForSameSeedShuffledForDifferent) {
+  sim::Rng a(1), b(1), c(2);
+  const auto ra = synthesizeResponses(a);
+  const auto rb = synthesizeResponses(b);
+  const auto rc = synthesizeResponses(c);
+  ASSERT_EQ(ra.size(), rb.size());
+  bool identical_ab = true, identical_ac = true;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    identical_ab &= ra[i].method == rb[i].method;
+    identical_ac &= ra[i].method == rc[i].method;
+  }
+  EXPECT_TRUE(identical_ab);
+  EXPECT_FALSE(identical_ac);  // different shuffle order
+  // But the same distribution regardless of seed.
+  EXPECT_EQ(tabulate(ra).by_method, tabulate(rc).by_method);
+}
+
+TEST(Survey, RespondentIdsAreUniqueAndMethodsConsistent) {
+  sim::Rng rng(3);
+  const auto responses = synthesizeResponses(rng);
+  std::set<int> ids;
+  for (const auto& r : responses) {
+    EXPECT_TRUE(ids.insert(r.respondent_id).second);
+    if (!r.bypasses_gfw) {
+      EXPECT_EQ(r.method, AccessMethod::kNone);
+    } else {
+      EXPECT_NE(r.method, AccessMethod::kNone);
+    }
+    EXPECT_FALSE(r.department.empty());
+  }
+}
+
+TEST(Survey, ScalesToOtherSampleSizes) {
+  sim::Rng rng(4);
+  const auto tab = tabulate(synthesizeResponses(rng, 10000));
+  EXPECT_EQ(tab.total, 10000);
+  EXPECT_NEAR(tab.bypassFraction(), 0.26, 0.01);
+  EXPECT_NEAR(tab.share(AccessMethod::kShadowsocks), 0.21, 0.01);
+}
+
+TEST(Survey, TextSummaryMentionsTheHeadlineNumbers) {
+  sim::Rng rng(5);
+  const auto tab = tabulate(synthesizeResponses(rng));
+  const std::string text = tab.asText();
+  EXPECT_NE(text.find("26%"), std::string::npos);
+  EXPECT_NE(text.find("43%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sc::survey

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "measure/campaign.h"
+#include "measure/testbed.h"
+
+namespace sc::measure {
+namespace {
+
+struct PageOutcome {
+  bool setup_ok = false;
+  bool load_ok = false;
+  http::PageLoadResult first;
+  http::PageLoadResult second;
+};
+
+PageOutcome loadScholarTwice(Testbed& tb, Method method, std::uint32_t tag) {
+  PageOutcome out;
+  bool ready = false;
+  auto& client = tb.addClient(method, tag, [&](bool ok) {
+    ready = true;
+    out.setup_ok = ok;
+  });
+  tb.sim().runWhile([&] { return ready; }, tb.sim().now() + 3 * sim::kMinute);
+  if (!out.setup_ok) return out;
+
+  bool done = false;
+  client.browser->loadPage(Testbed::kScholarHost, [&](http::PageLoadResult r) {
+    done = true;
+    out.first = r;
+  });
+  tb.sim().runWhile([&] { return done; }, tb.sim().now() + 2 * sim::kMinute);
+  tb.sim().runUntil(tb.sim().now() + sim::kMinute);
+
+  done = false;
+  client.browser->loadPage(Testbed::kScholarHost, [&](http::PageLoadResult r) {
+    done = true;
+    out.second = r;
+  });
+  tb.sim().runWhile([&] { return done; }, tb.sim().now() + 2 * sim::kMinute);
+  out.load_ok = out.first.ok && out.second.ok;
+  return out;
+}
+
+TEST(Testbed, DirectAccessToScholarIsBlocked) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kDirect, 11);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_FALSE(out.first.ok);
+  EXPECT_GE(tb.gfw().stats().dns_poisoned, 1u);
+}
+
+TEST(Testbed, DirectAccessToAmazonWorks) {
+  // The control: non-blocked US sites load fine from China.
+  Testbed tb;
+  bool ready = false, ok = false;
+  auto& client = tb.addClient(Method::kDirect, 12, [&](bool r) {
+    ready = true;
+    ok = r;
+  });
+  tb.sim().runWhile([&] { return ready; }, sim::kMinute);
+  ASSERT_TRUE(ok);
+  bool done = false;
+  http::PageLoadResult result;
+  client.browser->loadPage(Testbed::kAmazonHost, [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  tb.sim().runWhile([&] { return done; }, tb.sim().now() + sim::kMinute);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(Testbed, UsControlClientReachesScholarDirectly) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kUsControl, 13);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+}
+
+TEST(Testbed, NativeVpnLoadsScholar) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kNativeVpn, 14);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+  EXPECT_TRUE(out.first.first_visit);
+  EXPECT_FALSE(out.second.first_visit);
+}
+
+TEST(Testbed, OpenVpnLoadsScholar) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kOpenVpn, 15);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+}
+
+TEST(Testbed, ShadowsocksLoadsScholar) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kShadowsocks, 16);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+  EXPECT_GE(tb.ssRemote().connectionsServed(), 2u);
+}
+
+TEST(Testbed, TorLoadsScholarViaMeekBridge) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kTor, 17);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+  // First PLT must dwarf the subsequent one (Fig. 5a's headline Tor result).
+  EXPECT_GT(out.first.plt, 2 * out.second.plt);
+}
+
+TEST(Testbed, ScholarCloudLoadsScholar) {
+  Testbed tb;
+  const auto out = loadScholarTwice(tb, Method::kScholarCloud, 18);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+  EXPECT_TRUE(out.second.ok) << out.second.error;
+  EXPECT_GE(tb.domesticProxy().requestsProxied(), 2u);
+  EXPECT_GE(tb.domesticProxy().usersServed(), 1u);
+}
+
+TEST(Testbed, ScholarCloudLeavesNonWhitelistedTrafficAlone) {
+  Testbed tb;
+  bool ready = false, ok = false;
+  auto& client = tb.addClient(Method::kScholarCloud, 19, [&](bool r) {
+    ready = true;
+    ok = r;
+  });
+  tb.sim().runWhile([&] { return ready; }, sim::kMinute);
+  ASSERT_TRUE(ok);
+  // Amazon is not whitelisted: the PAC sends it DIRECT and it still works.
+  bool done = false;
+  http::PageLoadResult result;
+  client.browser->loadPage(Testbed::kAmazonHost, [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  tb.sim().runWhile([&] { return done; }, tb.sim().now() + sim::kMinute);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(tb.domesticProxy().requestsProxied(), 0u);
+}
+
+TEST(Testbed, PlrOrderingMatchesFig5c) {
+  // Tor suffers far more loss than Shadowsocks, which suffers more than the
+  // tunnel-recognized (VPN) and registered (ScholarCloud) methods.
+  Testbed tb;
+  CampaignOptions copts;
+  copts.accesses = 25;
+  copts.interval = 30 * sim::kSecond;
+  copts.measure_rtt = false;
+
+  const auto vpn = runAccessCampaign(tb, Method::kNativeVpn, 31, copts);
+  const auto tor = runAccessCampaign(tb, Method::kTor, 32, copts);
+  const auto ss = runAccessCampaign(tb, Method::kShadowsocks, 33, copts);
+  const auto sc = runAccessCampaign(tb, Method::kScholarCloud, 34, copts);
+
+  ASSERT_TRUE(vpn.setup_ok);
+  ASSERT_TRUE(tor.setup_ok);
+  ASSERT_TRUE(ss.setup_ok);
+  ASSERT_TRUE(sc.setup_ok);
+  EXPECT_GT(tor.plr_pct, ss.plr_pct);
+  EXPECT_GT(tor.plr_pct, 1.0);
+  EXPECT_LT(vpn.plr_pct, 1.0);
+  EXPECT_LT(sc.plr_pct, 1.0);
+}
+
+TEST(Testbed, GfwDisabledUnblocksDirectAccess) {
+  TestbedOptions opts;
+  opts.gfw_enabled = false;
+  Testbed tb(opts);
+  const auto out = loadScholarTwice(tb, Method::kDirect, 41);
+  ASSERT_TRUE(out.setup_ok);
+  EXPECT_TRUE(out.first.ok) << out.first.error;
+}
+
+TEST(Testbed, UnregisteredScholarCloudGetsThrottled) {
+  // Ablation of the legal avenue: without ICP registration the blinded
+  // tunnel is just another unknown high-entropy flow.
+  TestbedOptions opts;
+  opts.register_scholarcloud = false;
+  Testbed tb(opts);
+  CampaignOptions copts;
+  copts.accesses = 25;
+  copts.interval = 30 * sim::kSecond;
+  copts.measure_rtt = false;
+  const auto unregistered =
+      runAccessCampaign(tb, Method::kScholarCloud, 42, copts);
+  ASSERT_TRUE(unregistered.setup_ok);
+  EXPECT_GT(unregistered.plr_pct, 0.3);
+}
+
+}  // namespace
+}  // namespace sc::measure
+
+namespace sc::measure {
+namespace {
+
+TEST(Testbed, HostsFileMethodIsDeadAgainstModernGfw) {
+  // The historical hosts-file trick: pin scholar.google.com to a Google IP.
+  // IP blocking (since 2010) plus SNI filtering killed it — reproduce that.
+  Testbed tb;
+  bool ready = false;
+  auto& client = tb.addClient(Method::kDirect, 70, [&](bool) { ready = true; });
+  tb.sim().runWhile([&] { return ready; }, sim::kMinute);
+
+  http::BrowserOptions opts;
+  opts.dns_server = tb.usDnsIp();
+  opts.hosts_overrides["scholar.google.com"] = tb.scholarIp();
+  http::Browser pinned(*client.stack, opts, 71);
+  bool done = false;
+  http::PageLoadResult result;
+  pinned.loadPage(Testbed::kScholarHost, [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  tb.sim().runWhile([&] { return done; }, tb.sim().now() + 3 * sim::kMinute);
+  EXPECT_FALSE(result.ok);  // SYNs to the blocked IP vanish at the border
+}
+
+}  // namespace
+}  // namespace sc::measure

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "util/base64.h"
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace sc {
+namespace {
+
+TEST(Bytes, RoundTripsStrings) {
+  const std::string s = "hello \x01\x02 world";
+  EXPECT_EQ(toString(toBytes(s)), s);
+}
+
+TEST(Bytes, HexEncodesAndDecodes) {
+  const Bytes b{0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(toHex(b), "0001abff");
+  EXPECT_EQ(fromHex("0001abff"), b);
+  EXPECT_EQ(fromHex("0001ABFF"), b);
+}
+
+TEST(Bytes, HexRejectsMalformedInput) {
+  EXPECT_TRUE(fromHex("abc").empty());   // odd length
+  EXPECT_TRUE(fromHex("zz").empty());    // bad digit
+}
+
+TEST(Bytes, BigEndianIntegerRoundTrip) {
+  Bytes out;
+  appendU8(out, 0x12);
+  appendU16(out, 0x3456);
+  appendU32(out, 0x789ABCDE);
+  appendU64(out, 0x0102030405060708ULL);
+  EXPECT_EQ(out.size(), 15u);
+
+  std::size_t off = 0;
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  ASSERT_TRUE(readU8(out, off, a));
+  ASSERT_TRUE(readU16(out, off, b));
+  ASSERT_TRUE(readU32(out, off, c));
+  ASSERT_TRUE(readU64(out, off, d));
+  EXPECT_EQ(a, 0x12);
+  EXPECT_EQ(b, 0x3456);
+  EXPECT_EQ(c, 0x789ABCDEu);
+  EXPECT_EQ(d, 0x0102030405060708ULL);
+  EXPECT_EQ(off, out.size());
+}
+
+TEST(Bytes, ReadsFailOnShortBuffers) {
+  const Bytes short_buf{0x01};
+  std::size_t off = 0;
+  std::uint32_t v = 0;
+  EXPECT_FALSE(readU32(short_buf, off, v));
+  Bytes chunk;
+  EXPECT_FALSE(readBytes(short_buf, off, 2, chunk));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ctEqual(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ctEqual(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ctEqual(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ctEqual(Bytes{}, Bytes{}));
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64Encode(toBytes("")), "");
+  EXPECT_EQ(base64Encode(toBytes("f")), "Zg==");
+  EXPECT_EQ(base64Encode(toBytes("fo")), "Zm8=");
+  EXPECT_EQ(base64Encode(toBytes("foo")), "Zm9v");
+  EXPECT_EQ(base64Encode(toBytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64Encode(toBytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64Encode(toBytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeInvertsEncode) {
+  for (std::size_t n = 0; n < 32; ++n) {
+    Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<std::uint8_t>(i * 37 + n);
+    EXPECT_EQ(base64Decode(base64Encode(data)), data) << "n=" << n;
+  }
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_TRUE(base64Decode("abc").empty());      // not multiple of 4
+  EXPECT_TRUE(base64Decode("ab=c").empty());     // data after padding
+  EXPECT_TRUE(base64Decode("====").empty());     // padding in front
+  EXPECT_TRUE(base64Decode("a!cd").empty());     // invalid character
+}
+
+TEST(Strings, Split) {
+  const auto parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trimWhitespace("  x \t\r\n"), "x");
+  EXPECT_EQ(trimWhitespace(""), "");
+  EXPECT_EQ(toLower("HeLLo"), "hello");
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_FALSE(iequals("Host", "Hosts"));
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(startsWith("scholar.google.com", "scholar"));
+  EXPECT_FALSE(startsWith("sch", "scholar"));
+  EXPECT_TRUE(endsWith("scholar.google.com", ".google.com"));
+  EXPECT_FALSE(endsWith("com", ".google.com"));
+}
+
+TEST(Strings, ShExpMatch) {
+  EXPECT_TRUE(shExpMatch("scholar.google.com", "*.google.com"));
+  EXPECT_TRUE(shExpMatch("abc", "a?c"));
+  EXPECT_TRUE(shExpMatch("anything", "*"));
+  EXPECT_TRUE(shExpMatch("", "*"));
+  EXPECT_FALSE(shExpMatch("scholar.google.cn", "*.google.com"));
+  EXPECT_TRUE(shExpMatch("aXbYc", "a*b*c"));
+  EXPECT_FALSE(shExpMatch("ab", "a*b*c"));
+}
+
+TEST(Strings, DnsDomainIs) {
+  EXPECT_TRUE(dnsDomainIs("scholar.google.com", "google.com"));
+  EXPECT_TRUE(dnsDomainIs("google.com", "google.com"));
+  EXPECT_TRUE(dnsDomainIs("scholar.google.com", ".google.com"));
+  EXPECT_FALSE(dnsDomainIs("notgoogle.com", "google.com"));
+  EXPECT_FALSE(dnsDomainIs("google.com.evil.org", "google.com"));
+  EXPECT_TRUE(dnsDomainIs("SCHOLAR.GOOGLE.COM", "google.com"));
+}
+
+}  // namespace
+}  // namespace sc

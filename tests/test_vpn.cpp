@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "dns/resolver.h"
+#include "dns/server.h"
+#include "helpers.h"
+#include "http/browser.h"
+#include "http/origin.h"
+#include "vpn/l2tp.h"
+#include "vpn/pptp.h"
+
+namespace sc {
+namespace {
+
+using test::MiniWorld;
+
+struct VpnWorld : MiniWorld {
+  // server = VPN server; plus a separate web origin + DNS in the US.
+  net::Node& dns_node{world.addUsServer("dns")};
+  net::Node& web_node{world.addUsServer("web")};
+  transport::HostStack dns_stack{dns_node};
+  transport::HostStack web_stack{web_node};
+  dns::DnsServer dns_server{dns_stack};
+  http::WebOrigin origin{web_stack, http::PageSpec::simpleUsSite("site.test")};
+
+  VpnWorld() {
+    dns_server.addRecord("site.test", web_node.primaryIp());
+  }
+};
+
+TEST(Pptp, ControlHandshakeAssignsInnerAddressAndDns) {
+  VpnWorld w;
+  vpn::PptpServerOptions opts;
+  opts.advertised_dns = w.dns_node.primaryIp();
+  vpn::PptpServer server(w.server, opts);
+
+  vpn::PptpClient client(w.client,
+                         {w.server_node.primaryIp(), vpn::kPptpControlPort});
+  bool done = false, ok = false;
+  client.connect([&](bool r) {
+    done = true;
+    ok = r;
+  });
+  w.runUntilDone([&] { return done; });
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.advertisedDns(), w.dns_node.primaryIp());
+  EXPECT_NE(client.innerIp().v, 0u);
+  EXPECT_EQ(server.activeSessions(), 1u);
+}
+
+TEST(Pptp, TunnelsDnsQueriesToRemoteResolver) {
+  VpnWorld w;
+  vpn::PptpServerOptions opts;
+  opts.advertised_dns = w.dns_node.primaryIp();
+  vpn::PptpServer server(w.server, opts);
+  vpn::PptpClient client(w.client,
+                         {w.server_node.primaryIp(), vpn::kPptpControlPort});
+
+  bool up = false;
+  client.connect([&](bool r) { up = r; });
+  w.runUntilDone([&] { return up; });
+
+  dns::Resolver resolver(w.client, client.advertisedDns());
+  std::optional<net::Ipv4> answer;
+  bool resolved = false;
+  resolver.resolve("site.test", [&](std::optional<net::Ipv4> a) {
+    resolved = true;
+    answer = a;
+  });
+  w.runUntilDone([&] { return resolved; });
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, w.web_node.primaryIp());
+  EXPECT_GT(server.packetsForwarded(), 0u);
+}
+
+TEST(Pptp, FullPageLoadThroughTunnel) {
+  VpnWorld w;
+  vpn::PptpServerOptions opts;
+  opts.advertised_dns = w.dns_node.primaryIp();
+  vpn::PptpServer server(w.server, opts);
+  vpn::PptpClient client(w.client,
+                         {w.server_node.primaryIp(), vpn::kPptpControlPort});
+  bool up = false;
+  client.connect([&](bool r) { up = r; });
+  w.runUntilDone([&] { return up; });
+
+  http::BrowserOptions bopts;
+  bopts.dns_server = client.advertisedDns();
+  http::Browser browser(w.client, bopts);
+
+  bool done = false;
+  http::PageLoadResult result;
+  browser.loadPage("site.test", [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  w.runUntilDone([&] { return done; });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.resources, 3);
+  EXPECT_GT(client.packetsTunneled(), 10u);
+}
+
+TEST(Pptp, DisconnectRestoresDirectPath) {
+  VpnWorld w;
+  vpn::PptpServerOptions opts;
+  opts.advertised_dns = w.dns_node.primaryIp();
+  vpn::PptpServer server(w.server, opts);
+  vpn::PptpClient client(w.client,
+                         {w.server_node.primaryIp(), vpn::kPptpControlPort});
+  bool up = false;
+  client.connect([&](bool r) { up = r; });
+  w.runUntilDone([&] { return up; });
+  client.disconnect();
+  EXPECT_FALSE(client.connected());
+
+  // Direct fetch works again (no egress hook swallowing traffic).
+  dns::Resolver resolver(w.client, w.dns_node.primaryIp());
+  bool resolved = false;
+  resolver.resolve("site.test",
+                   [&](std::optional<net::Ipv4> a) { resolved = a.has_value(); });
+  w.runUntilDone([&] { return resolved; });
+}
+
+TEST(L2tp, HandshakeAndPageLoad) {
+  VpnWorld w;
+  vpn::L2tpServerOptions opts;
+  opts.advertised_dns = w.dns_node.primaryIp();
+  vpn::L2tpServer server(w.server, opts);
+  vpn::L2tpClient client(w.client,
+                         {w.server_node.primaryIp(), vpn::kL2tpControlPort});
+  bool up = false, ok = false;
+  client.connect([&](bool r) {
+    up = true;
+    ok = r;
+  });
+  w.runUntilDone([&] { return up; });
+  ASSERT_TRUE(ok);
+
+  http::BrowserOptions bopts;
+  bopts.dns_server = client.advertisedDns();
+  http::Browser browser(w.client, bopts);
+  bool done = false;
+  http::PageLoadResult result;
+  browser.loadPage("site.test", [&](http::PageLoadResult r) {
+    done = true;
+    result = r;
+  });
+  w.runUntilDone([&] { return done; });
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(server.packetsForwarded(), 0u);
+}
+
+TEST(VpnNat, TranslatesAndRestoresAddresses) {
+  MiniWorld w;
+  vpn::VpnNat nat(w.server, 20000, 20010);
+
+  std::optional<net::Packet> returned;
+  nat.setReturnPath([&](std::uint64_t session, net::Packet&& inner) {
+    EXPECT_EQ(session, 7u);
+    returned = std::move(inner);
+  });
+
+  net::Packet inner = net::makeUdp(net::Ipv4(192, 168, 77, 2),
+                                   net::Ipv4(203, 0, 1, 1), 5555, 53,
+                                   toBytes("query"));
+  nat.forwardOutbound(inner, 7);
+  w.sim.run(sim::kSecond);
+  EXPECT_EQ(nat.activeMappings(), 1u);
+
+  // Simulate the reply arriving at the NAT'd port.
+  net::Packet reply = net::makeUdp(net::Ipv4(203, 0, 1, 1),
+                                   w.server_node.primaryIp(), 53, 20000,
+                                   toBytes("answer"));
+  reply.measure_tag = 0;
+  reply.id = 1;
+  w.server_node.deliverLocal(std::move(reply));
+  w.sim.run(sim::kSecond);
+
+  ASSERT_TRUE(returned.has_value());
+  EXPECT_EQ(returned->dst, net::Ipv4(192, 168, 77, 2));
+  EXPECT_EQ(returned->udp().dst_port, 5555);
+}
+
+TEST(VpnNat, ReusesMappingForSameFlow) {
+  MiniWorld w;
+  vpn::VpnNat nat(w.server, 20000, 20010);
+  nat.setReturnPath([](std::uint64_t, net::Packet&&) {});
+  net::Packet inner = net::makeUdp(net::Ipv4(192, 168, 77, 2),
+                                   net::Ipv4(203, 0, 1, 1), 5555, 53, {});
+  nat.forwardOutbound(inner, 1);
+  nat.forwardOutbound(inner, 1);
+  w.sim.run(sim::kSecond);
+  EXPECT_EQ(nat.activeMappings(), 1u);
+  // A different inner port is a different flow.
+  inner.udp().src_port = 5556;
+  nat.forwardOutbound(inner, 1);
+  w.sim.run(sim::kSecond);
+  EXPECT_EQ(nat.activeMappings(), 2u);
+}
+
+}  // namespace
+}  // namespace sc
