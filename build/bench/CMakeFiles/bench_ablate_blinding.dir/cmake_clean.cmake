@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_blinding.dir/bench_ablate_blinding.cpp.o"
+  "CMakeFiles/bench_ablate_blinding.dir/bench_ablate_blinding.cpp.o.d"
+  "bench_ablate_blinding"
+  "bench_ablate_blinding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_blinding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_splitproxy.dir/bench_ablate_splitproxy.cpp.o"
+  "CMakeFiles/bench_ablate_splitproxy.dir/bench_ablate_splitproxy.cpp.o.d"
+  "bench_ablate_splitproxy"
+  "bench_ablate_splitproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_splitproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_vpn_era.dir/bench_ablate_vpn_era.cpp.o"
+  "CMakeFiles/bench_ablate_vpn_era.dir/bench_ablate_vpn_era.cpp.o.d"
+  "bench_ablate_vpn_era"
+  "bench_ablate_vpn_era.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_vpn_era.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

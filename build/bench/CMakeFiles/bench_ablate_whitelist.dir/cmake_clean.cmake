@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_whitelist.dir/bench_ablate_whitelist.cpp.o"
+  "CMakeFiles/bench_ablate_whitelist.dir/bench_ablate_whitelist.cpp.o.d"
+  "bench_ablate_whitelist"
+  "bench_ablate_whitelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_whitelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_connections.dir/bench_fig4_connections.cpp.o"
+  "CMakeFiles/bench_fig4_connections.dir/bench_fig4_connections.cpp.o.d"
+  "bench_fig4_connections"
+  "bench_fig4_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_plt.dir/bench_fig5a_plt.cpp.o"
+  "CMakeFiles/bench_fig5a_plt.dir/bench_fig5a_plt.cpp.o.d"
+  "bench_fig5a_plt"
+  "bench_fig5a_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

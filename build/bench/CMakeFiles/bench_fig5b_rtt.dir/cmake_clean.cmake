@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_rtt.dir/bench_fig5b_rtt.cpp.o"
+  "CMakeFiles/bench_fig5b_rtt.dir/bench_fig5b_rtt.cpp.o.d"
+  "bench_fig5b_rtt"
+  "bench_fig5b_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

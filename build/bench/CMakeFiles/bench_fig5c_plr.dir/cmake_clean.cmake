@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_plr.dir/bench_fig5c_plr.cpp.o"
+  "CMakeFiles/bench_fig5c_plr.dir/bench_fig5c_plr.cpp.o.d"
+  "bench_fig5c_plr"
+  "bench_fig5c_plr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_plr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_deployment.dir/campus_deployment.cpp.o"
+  "CMakeFiles/campus_deployment.dir/campus_deployment.cpp.o.d"
+  "campus_deployment"
+  "campus_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

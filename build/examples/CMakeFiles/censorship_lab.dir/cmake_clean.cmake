@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/censorship_lab.dir/censorship_lab.cpp.o"
+  "CMakeFiles/censorship_lab.dir/censorship_lab.cpp.o.d"
+  "censorship_lab"
+  "censorship_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/censorship_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/regulation_walkthrough.cpp" "examples/CMakeFiles/regulation_walkthrough.dir/regulation_walkthrough.cpp.o" "gcc" "examples/CMakeFiles/regulation_walkthrough.dir/regulation_walkthrough.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/sc_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/sc_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/sc_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadowsocks/CMakeFiles/sc_shadowsocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/openvpn/CMakeFiles/sc_openvpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpn/CMakeFiles/sc_vpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulation/CMakeFiles/sc_regulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulation_walkthrough.dir/regulation_walkthrough.cpp.o"
+  "CMakeFiles/regulation_walkthrough.dir/regulation_walkthrough.cpp.o.d"
+  "regulation_walkthrough"
+  "regulation_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulation_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

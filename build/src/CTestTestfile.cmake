@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("crypto")
+subdirs("net")
+subdirs("transport")
+subdirs("dns")
+subdirs("http")
+subdirs("gfw")
+subdirs("regulation")
+subdirs("vpn")
+subdirs("openvpn")
+subdirs("shadowsocks")
+subdirs("core")
+subdirs("tor")
+subdirs("measure")
+subdirs("survey")

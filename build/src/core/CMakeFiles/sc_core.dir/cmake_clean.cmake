@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_core.dir/blinded_stream.cpp.o"
+  "CMakeFiles/sc_core.dir/blinded_stream.cpp.o.d"
+  "CMakeFiles/sc_core.dir/deployment.cpp.o"
+  "CMakeFiles/sc_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/sc_core.dir/domestic_proxy.cpp.o"
+  "CMakeFiles/sc_core.dir/domestic_proxy.cpp.o.d"
+  "CMakeFiles/sc_core.dir/remote_proxy.cpp.o"
+  "CMakeFiles/sc_core.dir/remote_proxy.cpp.o.d"
+  "CMakeFiles/sc_core.dir/tunnel.cpp.o"
+  "CMakeFiles/sc_core.dir/tunnel.cpp.o.d"
+  "libsc_core.a"
+  "libsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

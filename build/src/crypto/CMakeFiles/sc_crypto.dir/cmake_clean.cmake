@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sc_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/blinding.cpp.o"
+  "CMakeFiles/sc_crypto.dir/blinding.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/entropy.cpp.o"
+  "CMakeFiles/sc_crypto.dir/entropy.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o.d"
+  "libsc_crypto.a"
+  "libsc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

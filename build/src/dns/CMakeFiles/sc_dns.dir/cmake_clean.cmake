@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_dns.dir/message.cpp.o"
+  "CMakeFiles/sc_dns.dir/message.cpp.o.d"
+  "CMakeFiles/sc_dns.dir/resolver.cpp.o"
+  "CMakeFiles/sc_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/sc_dns.dir/server.cpp.o"
+  "CMakeFiles/sc_dns.dir/server.cpp.o.d"
+  "libsc_dns.a"
+  "libsc_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_gfw.dir/blocklist.cpp.o"
+  "CMakeFiles/sc_gfw.dir/blocklist.cpp.o.d"
+  "CMakeFiles/sc_gfw.dir/classifier.cpp.o"
+  "CMakeFiles/sc_gfw.dir/classifier.cpp.o.d"
+  "CMakeFiles/sc_gfw.dir/gfw.cpp.o"
+  "CMakeFiles/sc_gfw.dir/gfw.cpp.o.d"
+  "CMakeFiles/sc_gfw.dir/prober.cpp.o"
+  "CMakeFiles/sc_gfw.dir/prober.cpp.o.d"
+  "libsc_gfw.a"
+  "libsc_gfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_gfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/browser.cpp" "src/http/CMakeFiles/sc_http.dir/browser.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/browser.cpp.o.d"
+  "/root/repo/src/http/client.cpp" "src/http/CMakeFiles/sc_http.dir/client.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/client.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/sc_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/origin.cpp" "src/http/CMakeFiles/sc_http.dir/origin.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/origin.cpp.o.d"
+  "/root/repo/src/http/pac.cpp" "src/http/CMakeFiles/sc_http.dir/pac.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/pac.cpp.o.d"
+  "/root/repo/src/http/server.cpp" "src/http/CMakeFiles/sc_http.dir/server.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/server.cpp.o.d"
+  "/root/repo/src/http/socks.cpp" "src/http/CMakeFiles/sc_http.dir/socks.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/socks.cpp.o.d"
+  "/root/repo/src/http/tls.cpp" "src/http/CMakeFiles/sc_http.dir/tls.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/tls.cpp.o.d"
+  "/root/repo/src/http/url.cpp" "src/http/CMakeFiles/sc_http.dir/url.cpp.o" "gcc" "src/http/CMakeFiles/sc_http.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/sc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_http.dir/browser.cpp.o"
+  "CMakeFiles/sc_http.dir/browser.cpp.o.d"
+  "CMakeFiles/sc_http.dir/client.cpp.o"
+  "CMakeFiles/sc_http.dir/client.cpp.o.d"
+  "CMakeFiles/sc_http.dir/message.cpp.o"
+  "CMakeFiles/sc_http.dir/message.cpp.o.d"
+  "CMakeFiles/sc_http.dir/origin.cpp.o"
+  "CMakeFiles/sc_http.dir/origin.cpp.o.d"
+  "CMakeFiles/sc_http.dir/pac.cpp.o"
+  "CMakeFiles/sc_http.dir/pac.cpp.o.d"
+  "CMakeFiles/sc_http.dir/server.cpp.o"
+  "CMakeFiles/sc_http.dir/server.cpp.o.d"
+  "CMakeFiles/sc_http.dir/socks.cpp.o"
+  "CMakeFiles/sc_http.dir/socks.cpp.o.d"
+  "CMakeFiles/sc_http.dir/tls.cpp.o"
+  "CMakeFiles/sc_http.dir/tls.cpp.o.d"
+  "CMakeFiles/sc_http.dir/url.cpp.o"
+  "CMakeFiles/sc_http.dir/url.cpp.o.d"
+  "libsc_http.a"
+  "libsc_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

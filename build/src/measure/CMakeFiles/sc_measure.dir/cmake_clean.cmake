@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_measure.dir/campaign.cpp.o"
+  "CMakeFiles/sc_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/sc_measure.dir/report.cpp.o"
+  "CMakeFiles/sc_measure.dir/report.cpp.o.d"
+  "CMakeFiles/sc_measure.dir/resource_model.cpp.o"
+  "CMakeFiles/sc_measure.dir/resource_model.cpp.o.d"
+  "CMakeFiles/sc_measure.dir/stats.cpp.o"
+  "CMakeFiles/sc_measure.dir/stats.cpp.o.d"
+  "CMakeFiles/sc_measure.dir/testbed.cpp.o"
+  "CMakeFiles/sc_measure.dir/testbed.cpp.o.d"
+  "libsc_measure.a"
+  "libsc_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

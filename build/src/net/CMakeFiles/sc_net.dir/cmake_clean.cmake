@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_net.dir/address.cpp.o"
+  "CMakeFiles/sc_net.dir/address.cpp.o.d"
+  "CMakeFiles/sc_net.dir/link.cpp.o"
+  "CMakeFiles/sc_net.dir/link.cpp.o.d"
+  "CMakeFiles/sc_net.dir/network.cpp.o"
+  "CMakeFiles/sc_net.dir/network.cpp.o.d"
+  "CMakeFiles/sc_net.dir/node.cpp.o"
+  "CMakeFiles/sc_net.dir/node.cpp.o.d"
+  "CMakeFiles/sc_net.dir/packet.cpp.o"
+  "CMakeFiles/sc_net.dir/packet.cpp.o.d"
+  "CMakeFiles/sc_net.dir/topology.cpp.o"
+  "CMakeFiles/sc_net.dir/topology.cpp.o.d"
+  "libsc_net.a"
+  "libsc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_openvpn.dir/openvpn.cpp.o"
+  "CMakeFiles/sc_openvpn.dir/openvpn.cpp.o.d"
+  "CMakeFiles/sc_openvpn.dir/pki.cpp.o"
+  "CMakeFiles/sc_openvpn.dir/pki.cpp.o.d"
+  "libsc_openvpn.a"
+  "libsc_openvpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_openvpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regulation/icp_registry.cpp" "src/regulation/CMakeFiles/sc_regulation.dir/icp_registry.cpp.o" "gcc" "src/regulation/CMakeFiles/sc_regulation.dir/icp_registry.cpp.o.d"
+  "/root/repo/src/regulation/mps_investigation.cpp" "src/regulation/CMakeFiles/sc_regulation.dir/mps_investigation.cpp.o" "gcc" "src/regulation/CMakeFiles/sc_regulation.dir/mps_investigation.cpp.o.d"
+  "/root/repo/src/regulation/tca_agency.cpp" "src/regulation/CMakeFiles/sc_regulation.dir/tca_agency.cpp.o" "gcc" "src/regulation/CMakeFiles/sc_regulation.dir/tca_agency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_regulation.dir/icp_registry.cpp.o"
+  "CMakeFiles/sc_regulation.dir/icp_registry.cpp.o.d"
+  "CMakeFiles/sc_regulation.dir/mps_investigation.cpp.o"
+  "CMakeFiles/sc_regulation.dir/mps_investigation.cpp.o.d"
+  "CMakeFiles/sc_regulation.dir/tca_agency.cpp.o"
+  "CMakeFiles/sc_regulation.dir/tca_agency.cpp.o.d"
+  "libsc_regulation.a"
+  "libsc_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shadowsocks/shadowsocks.cpp" "src/shadowsocks/CMakeFiles/sc_shadowsocks.dir/shadowsocks.cpp.o" "gcc" "src/shadowsocks/CMakeFiles/sc_shadowsocks.dir/shadowsocks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/sc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_shadowsocks.dir/shadowsocks.cpp.o"
+  "CMakeFiles/sc_shadowsocks.dir/shadowsocks.cpp.o.d"
+  "libsc_shadowsocks.a"
+  "libsc_shadowsocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_shadowsocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

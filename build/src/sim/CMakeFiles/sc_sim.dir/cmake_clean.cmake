@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_sim.dir/rng.cpp.o"
+  "CMakeFiles/sc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/sc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sc_sim.dir/simulator.cpp.o.d"
+  "libsc_sim.a"
+  "libsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

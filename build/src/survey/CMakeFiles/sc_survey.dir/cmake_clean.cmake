@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_survey.dir/survey.cpp.o"
+  "CMakeFiles/sc_survey.dir/survey.cpp.o.d"
+  "libsc_survey.a"
+  "libsc_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

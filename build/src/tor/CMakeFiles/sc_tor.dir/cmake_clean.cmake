@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_tor.dir/cell.cpp.o"
+  "CMakeFiles/sc_tor.dir/cell.cpp.o.d"
+  "CMakeFiles/sc_tor.dir/client.cpp.o"
+  "CMakeFiles/sc_tor.dir/client.cpp.o.d"
+  "CMakeFiles/sc_tor.dir/directory.cpp.o"
+  "CMakeFiles/sc_tor.dir/directory.cpp.o.d"
+  "CMakeFiles/sc_tor.dir/meek.cpp.o"
+  "CMakeFiles/sc_tor.dir/meek.cpp.o.d"
+  "CMakeFiles/sc_tor.dir/relay.cpp.o"
+  "CMakeFiles/sc_tor.dir/relay.cpp.o.d"
+  "libsc_tor.a"
+  "libsc_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

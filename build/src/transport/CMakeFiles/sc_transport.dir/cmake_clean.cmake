@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_transport.dir/host_stack.cpp.o"
+  "CMakeFiles/sc_transport.dir/host_stack.cpp.o.d"
+  "CMakeFiles/sc_transport.dir/tcp_socket.cpp.o"
+  "CMakeFiles/sc_transport.dir/tcp_socket.cpp.o.d"
+  "libsc_transport.a"
+  "libsc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_util.dir/base64.cpp.o"
+  "CMakeFiles/sc_util.dir/base64.cpp.o.d"
+  "CMakeFiles/sc_util.dir/bytes.cpp.o"
+  "CMakeFiles/sc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sc_util.dir/strings.cpp.o"
+  "CMakeFiles/sc_util.dir/strings.cpp.o.d"
+  "libsc_util.a"
+  "libsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

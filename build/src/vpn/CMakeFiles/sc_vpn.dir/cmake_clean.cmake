@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_vpn.dir/l2tp.cpp.o"
+  "CMakeFiles/sc_vpn.dir/l2tp.cpp.o.d"
+  "CMakeFiles/sc_vpn.dir/pptp.cpp.o"
+  "CMakeFiles/sc_vpn.dir/pptp.cpp.o.d"
+  "CMakeFiles/sc_vpn.dir/tunnel_common.cpp.o"
+  "CMakeFiles/sc_vpn.dir/tunnel_common.cpp.o.d"
+  "libsc_vpn.a"
+  "libsc_vpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openvpn.dir/test_openvpn.cpp.o"
+  "CMakeFiles/test_openvpn.dir/test_openvpn.cpp.o.d"
+  "test_openvpn"
+  "test_openvpn.pdb"
+  "test_openvpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openvpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

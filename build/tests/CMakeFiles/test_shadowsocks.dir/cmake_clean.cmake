@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadowsocks.dir/test_shadowsocks.cpp.o"
+  "CMakeFiles/test_shadowsocks.dir/test_shadowsocks.cpp.o.d"
+  "test_shadowsocks"
+  "test_shadowsocks.pdb"
+  "test_shadowsocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadowsocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

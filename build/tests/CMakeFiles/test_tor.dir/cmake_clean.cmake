@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tor.dir/test_tor.cpp.o"
+  "CMakeFiles/test_tor.dir/test_tor.cpp.o.d"
+  "test_tor"
+  "test_tor.pdb"
+  "test_tor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

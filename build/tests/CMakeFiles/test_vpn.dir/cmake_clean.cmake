@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpn.dir/test_vpn.cpp.o"
+  "CMakeFiles/test_vpn.dir/test_vpn.cpp.o.d"
+  "test_vpn"
+  "test_vpn.pdb"
+  "test_vpn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_vpn[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_browser[1]_include.cmake")
+include("/root/repo/build/tests/test_gfw[1]_include.cmake")
+include("/root/repo/build/tests/test_regulation[1]_include.cmake")
+include("/root/repo/build/tests/test_shadowsocks[1]_include.cmake")
+include("/root/repo/build/tests/test_openvpn[1]_include.cmake")
+include("/root/repo/build/tests/test_tor[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_survey[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
