@@ -2,16 +2,25 @@
 // sweep at the paper's cadence (one access per simulated minute), scaled to
 // SC_BENCH_ACCESSES accesses (default 120; set the environment variable to
 // 1440 for the paper's full day).
+//
+// Every bench also understands a small common command line:
+//   --trace FILE     enable the obs::Tracer and dump the event trace to FILE
+//                    (.csv suffix selects CSV, anything else JSONL)
+//   --metrics FILE   dump the obs::Registry snapshot to FILE after the sweep
+//   --accesses N     override SC_BENCH_ACCESSES / the default
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "measure/campaign.h"
 #include "measure/report.h"
 #include "measure/resource_model.h"
 #include "measure/testbed.h"
+#include "obs/export.h"
 
 namespace sc::bench {
 
@@ -21,6 +30,46 @@ inline int accessesFromEnv(int fallback = 120) {
     if (v > 0) return v;
   }
   return fallback;
+}
+
+// Common bench options parsed from argv. Unknown arguments are rejected so a
+// typo'd flag fails loudly instead of silently running the default sweep.
+struct BenchArgs {
+  std::string trace_path;    // empty = tracing off
+  std::string metrics_path;  // empty = no metrics dump
+  int accesses = 0;          // 0 = use accessesFromEnv
+  bool ok = true;
+};
+
+inline BenchArgs parseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        args.ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--trace") == 0) {
+      if (const char* v = value("--trace")) args.trace_path = v;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      if (const char* v = value("--metrics")) args.metrics_path = v;
+    } else if (std::strcmp(a, "--accesses") == 0) {
+      if (const char* v = value("--accesses")) args.accesses = std::atoi(v);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--trace FILE] [--metrics FILE] [--accesses N]\n",
+                   argv[0]);
+      args.ok = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", a);
+      args.ok = false;
+    }
+  }
+  return args;
 }
 
 // The five methods of Fig. 2/5/6, in the paper's presentation order.
@@ -38,10 +87,12 @@ struct SweepResult {
 
 inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
                                       std::uint64_t seed = 42,
-                                      bool cold_cache = false) {
+                                      bool cold_cache = false,
+                                      const BenchArgs* args = nullptr) {
   SweepResult sweep;
   measure::TestbedOptions topts;
   topts.seed = seed;
+  if (args != nullptr && !args->trace_path.empty()) topts.tracing = true;
   measure::Testbed tb(topts);
   measure::CampaignOptions copts;
   copts.accesses = accesses;
@@ -54,6 +105,30 @@ inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
       std::fprintf(stderr, "WARNING: %s setup failed\n",
                    measure::methodName(method));
     sweep.campaigns.push_back(std::move(result));
+  }
+  if (args != nullptr) {
+    if (!args->trace_path.empty() &&
+        obs::dumpTrace(tb.hub().tracer(), args->trace_path)) {
+      std::fprintf(stderr, "trace: %zu events -> %s\n",
+                   tb.hub().tracer().events().size(),
+                   args->trace_path.c_str());
+    }
+    if (!args->metrics_path.empty()) {
+      // Simulator tallies are published at dump time (they are accessors,
+      // not registry instruments). Wallclock stays on stderr: it is the one
+      // nondeterministic number and must not enter the deterministic dump.
+      auto& reg = tb.hub().registry();
+      reg.gauge("sim.events_executed")
+          ->set(static_cast<double>(tb.sim().eventsExecuted()));
+      reg.gauge("sim.max_queue_depth")
+          ->set(static_cast<double>(tb.sim().maxQueueDepth()));
+      if (obs::dumpMetrics(reg, args->metrics_path)) {
+        std::fprintf(stderr, "metrics -> %s (%.2fs wallclock, %llu events)\n",
+                     args->metrics_path.c_str(), tb.sim().wallSeconds(),
+                     static_cast<unsigned long long>(
+                         tb.sim().eventsExecuted()));
+      }
+    }
   }
   return sweep;
 }

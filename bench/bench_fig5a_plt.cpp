@@ -2,14 +2,19 @@
 // methods, from a day-style campaign (one access per simulated minute).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv();
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv();
   std::printf("Figure 5a — page load time (%d accesses per method)\n",
               accesses);
 
-  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false);
+  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false,
+                                               /*seed=*/42,
+                                               /*cold_cache=*/false, &args);
 
   Report report("Fig. 5a: PLT seconds (paper vs measured)",
                 {"paper 1st", "meas 1st", "paper sub", "meas sub",

@@ -3,14 +3,19 @@
 // explain why first-time PLT correlates with path length).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv(80);
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv(80);
   std::printf("Figure 5b — round-trip time (%d accesses per method)\n",
               accesses);
 
-  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/true);
+  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/true,
+                                               /*seed=*/42,
+                                               /*cold_cache=*/false, &args);
 
   Report report("Fig. 5b: RTT ms (paper vs measured probe)",
                 {"paper", "measured", "min", "max"});

@@ -3,14 +3,19 @@
 // proving the GFW, not the protocols, causes the loss).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv();
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv();
   std::printf("Figure 5c — packet loss rate (%d accesses per method)\n",
               accesses);
 
-  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false);
+  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false,
+                                               /*seed=*/42,
+                                               /*cold_cache=*/false, &args);
 
   Report report("Fig. 5c: PLR %% (paper vs measured)", {"paper", "measured"});
   for (std::size_t i = 0; i < bench::paperMethods().size(); ++i) {

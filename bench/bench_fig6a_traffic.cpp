@@ -3,10 +3,13 @@
 // encryption / obfuscation overhead on top.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv(60);
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv(60);
   std::printf("Figure 6a — client traffic per access (%d accesses)\n",
               accesses);
 
@@ -26,7 +29,7 @@ int main() {
 
   const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false,
                                                /*seed=*/42,
-                                               /*cold_cache=*/true);
+                                               /*cold_cache=*/true, &args);
 
   Report report("Fig. 6a: traffic KB/access (paper vs measured)",
                 {"paper total", "meas total", "paper extra", "meas extra"});

@@ -3,13 +3,18 @@
 // activity-parametric model of measure/resource_model.h.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv(60);
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv(60);
   std::printf("Figure 6b — client CPU utilization (%d accesses)\n", accesses);
 
-  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false);
+  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false,
+                                               /*seed=*/42,
+                                               /*cold_cache=*/false, &args);
 
   Report report("Fig. 6b: CPU %% (paper browser vs modeled)",
                 {"paper", "browser", "extra client", "total"});

@@ -2,13 +2,18 @@
 // Scholar), per method, through the activity-driven memory model.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sc;
   using namespace sc::measure;
-  const int accesses = bench::accessesFromEnv(40);
+  const auto args = bench::parseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const int accesses =
+      args.accesses > 0 ? args.accesses : bench::accessesFromEnv(40);
   std::printf("Figure 6c — client memory usage (%d accesses)\n", accesses);
 
-  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false);
+  const auto sweep = bench::runFiveMethodSweep(accesses, /*rtt=*/false,
+                                               /*seed=*/42,
+                                               /*cold_cache=*/false, &args);
 
   Report report("Fig. 6c: memory MB (before / after / delta / extra client)",
                 {"before", "after", "paper dlt", "meas dlt", "extra"});

@@ -9,6 +9,12 @@ DomesticProxy::DomesticProxy(transport::HostStack& stack,
                              DomesticProxyOptions options,
                              std::uint32_t measure_tag)
     : stack_(stack), options_(std::move(options)), tag_(measure_tag) {
+  if (obs::Registry* reg = obs::registryOf(stack_.sim())) {
+    c_proxied_ = reg->counter("sc.domestic.requests_proxied");
+    c_denied_ = reg->counter("sc.domestic.requests_denied");
+    c_pac_downloads_ = reg->counter("sc.domestic.pac_downloads");
+    c_rotations_ = reg->counter("sc.domestic.blinding_rotations");
+  }
   http::ServerOptions sopts;
   sopts.port = options_.http_port;
   sopts.cycles_per_request = options_.cycles_per_request;
@@ -18,6 +24,7 @@ DomesticProxy::DomesticProxy(transport::HostStack& stack,
   server_->route("/proxy.pac", [this](const http::Request&,
                                       http::HttpServer::Respond respond) {
     ++pac_downloads_;
+    if (c_pac_downloads_ != nullptr) c_pac_downloads_->inc();
     http::Response resp;
     resp.headers.set("content-type", "application/x-ns-proxy-autoconfig");
     resp.body = toBytes(buildPac().toJavaScript());
@@ -127,6 +134,7 @@ Tunnel::Ptr DomesticProxy::pickTunnel() {
 
 void DomesticProxy::rotateBlinding(std::uint32_t new_epoch) {
   epoch_ = new_epoch;
+  if (c_rotations_ != nullptr) c_rotations_->inc();
   for (auto& tunnel : tunnels_) {
     if (tunnel != nullptr) tunnel->rotateBlinding(new_epoch);
   }
@@ -158,7 +166,7 @@ void DomesticProxy::onSocksRequest(transport::ConnectTarget target,
   // Same whitelist discipline as the HTTP paths: this extension widens the
   // *protocols* ScholarCloud can carry, never the *destinations*.
   if (!target.byName() || !isWhitelisted(target.host)) {
-    ++denied_;
+    noteDenied();
     respond(false);
     return;
   }
@@ -168,11 +176,11 @@ void DomesticProxy::onSocksRequest(transport::ConnectTarget target,
                       ? nullptr
                       : tunnel->openStream(target, /*passthrough=*/false);
     if (stream == nullptr) {
-      ++denied_;
+      noteDenied();
       respond(false);
       return;
     }
-    ++proxied_;
+    noteProxied();
     ++socks_streams_;
     respond(true);
     transport::bridgeStreams(std::move(client), std::move(stream));
@@ -188,7 +196,7 @@ void DomesticProxy::handleHttpRequest(const http::Request& req,
   }
 
   if (!url.has_value() || !isWhitelisted(host)) {
-    ++denied_;
+    noteDenied();
     http::Response resp;
     resp.status = 403;
     resp.reason = http::statusReason(403);
@@ -208,14 +216,14 @@ void DomesticProxy::handleHttpRequest(const http::Request& req,
                                                                  url->port),
                             /*passthrough=*/false);
     if (stream == nullptr) {
-      ++denied_;
+      noteDenied();
       http::Response resp;
       resp.status = 502;
       resp.reason = http::statusReason(502);
       respond(std::move(resp));
       return;
     }
-    ++proxied_;
+    noteProxied();
     http::Request upstream_req = req;
     upstream_req.target = url->path;  // absolute-form to origin-form
     upstream_req.headers.set("via", "scholarcloud/1.0");
@@ -255,7 +263,7 @@ void DomesticProxy::handleConnect(const http::Request& req,
 
   http::Response resp;
   if (!isWhitelisted(host)) {
-    ++denied_;
+    noteDenied();
     resp.status = 403;
     resp.reason = http::statusReason(403);
     respond(std::move(resp));
@@ -273,14 +281,14 @@ void DomesticProxy::handleConnect(const http::Request& req,
                             transport::ConnectTarget::byHostname(host, port),
                             /*passthrough=*/true);
     if (stream == nullptr) {
-      ++denied_;
+      noteDenied();
       resp.status = 502;
       resp.reason = http::statusReason(502);
       respond(std::move(resp));
       client->close();
       return;
     }
-    ++proxied_;
+    noteProxied();
     resp.status = 200;
     resp.reason = "Connection Established";
     respond(std::move(resp));

@@ -82,6 +82,15 @@ class DomesticProxy {
   const std::string& icpNumber() const noexcept { return icp_number_; }
 
  private:
+  void noteProxied() {
+    ++proxied_;
+    if (c_proxied_ != nullptr) c_proxied_->inc();
+  }
+  void noteDenied() {
+    ++denied_;
+    if (c_denied_ != nullptr) c_denied_->inc();
+  }
+
   Tunnel::Ptr pickTunnel();
   // Invokes `fn` with a connected tunnel, retrying briefly while the pool is
   // still dialing (startup or post-drop reconnect); nullptr on timeout.
@@ -113,6 +122,12 @@ class DomesticProxy {
   std::uint64_t denied_ = 0;
   std::uint64_t pac_downloads_ = 0;
   std::string icp_number_;
+
+  // Pre-resolved ops metrics (null without a hub).
+  obs::Counter* c_proxied_ = nullptr;
+  obs::Counter* c_denied_ = nullptr;
+  obs::Counter* c_pac_downloads_ = nullptr;
+  obs::Counter* c_rotations_ = nullptr;
 };
 
 }  // namespace sc::core

@@ -9,6 +9,11 @@ RemoteProxy::RemoteProxy(transport::HostStack& stack,
     : stack_(stack),
       options_(std::move(options)),
       resolver_(stack, options_.dns_server) {
+  if (obs::Registry* reg = obs::registryOf(stack_.sim())) {
+    c_tunnels_ = reg->counter("sc.remote.tunnels_accepted");
+    c_streams_ = reg->counter("sc.remote.streams_served");
+    c_rejected_ = reg->counter("sc.remote.probes_ignored");
+  }
   listener_ = stack_.tcpListen(options_.port,
                                [this](transport::TcpSocket::Ptr sock) {
                                  onTunnelConnection(std::move(sock));
@@ -23,12 +28,14 @@ void RemoteProxy::onTunnelConnection(transport::TcpSocket::Ptr sock) {
   if (!authorized) {
     // Mute treatment for strangers and probes: close without a byte.
     ++rejected_;
+    if (c_rejected_ != nullptr) c_rejected_->inc();
     auto keep = sock;
     stack_.sim().schedule(500 * sim::kMillisecond, [keep] { keep->close(); });
     return;
   }
 
   ++tunnels_;
+  if (c_tunnels_ != nullptr) c_tunnels_->inc();
   Tunnel::Options topts;
   topts.secret = options_.tunnel_secret;
   topts.blinding_mode = options_.blinding_mode;
@@ -50,6 +57,7 @@ void RemoteProxy::onOpen(transport::Stream::Ptr stream,
                          transport::ConnectTarget target, bool passthrough) {
   (void)passthrough;
   ++streams_;
+  if (c_streams_ != nullptr) c_streams_->inc();
 
   auto connect_upstream = [this, stream](net::Ipv4 ip, net::Port port) {
     // Relay work costs CPU on the single-core VM (Fig. 7 scalability).

@@ -48,6 +48,11 @@ class RemoteProxy {
   std::uint64_t tunnels_ = 0;
   std::uint64_t streams_ = 0;
   std::uint64_t rejected_ = 0;
+
+  // Pre-resolved ops metrics (null without a hub).
+  obs::Counter* c_tunnels_ = nullptr;
+  obs::Counter* c_streams_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
 };
 
 }  // namespace sc::core

@@ -5,6 +5,18 @@
 
 namespace sc::core {
 
+const char* frameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kOpen: return "open";
+    case FrameType::kData: return "data";
+    case FrameType::kClose: return "close";
+    case FrameType::kRotate: return "rotate";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "?";
+}
+
 namespace {
 Bytes encodeTarget(const transport::ConnectTarget& target, bool passthrough) {
   Bytes out;
@@ -87,11 +99,44 @@ void Tunnel::start(transport::Stream::Ptr raw_wire) {
   });
   // Server allocates even ids, client odd, so ids never collide.
   next_stream_id_ = options_.client_side ? 1 : 2;
+
+  if (obs::Registry* reg = obs::registryOf(sim_)) {
+    for (const FrameType t : {FrameType::kOpen, FrameType::kData,
+                              FrameType::kClose, FrameType::kRotate,
+                              FrameType::kPing, FrameType::kPong}) {
+      c_frames_tx_[static_cast<std::size_t>(t)] =
+          reg->counter(std::string("tunnel.frames_tx.") + frameTypeName(t));
+    }
+    c_streams_opened_ = reg->counter("tunnel.streams_opened");
+    c_rotations_ = reg->counter("tunnel.rotations");
+  }
 }
 
 void Tunnel::sendFrame(FrameType type, std::uint32_t stream_id,
                        ByteView payload) {
   if (wire_ == nullptr) return;
+  if (obs::Counter* c = c_frames_tx_[static_cast<std::size_t>(type)])
+    c->inc();
+  if (obs::Tracer* tracer = obs::tracerOf(sim_)) {
+    obs::Event ev;
+    ev.at = sim_.now();
+    switch (type) {
+      case FrameType::kRotate: ev.type = obs::EventType::kTunnelRotate; break;
+      case FrameType::kPing:
+      case FrameType::kPong: ev.type = obs::EventType::kTunnelPing; break;
+      default: ev.type = obs::EventType::kTunnelFrame; break;
+    }
+    ev.what = frameTypeName(type);
+    ev.a = stream_id;
+    if (type == FrameType::kRotate) {
+      std::size_t off = 0;
+      std::uint32_t epoch = 0;
+      if (readU32(payload, off, epoch)) ev.a = epoch;
+    } else if (type == FrameType::kPing || type == FrameType::kPong) {
+      ev.a = type == FrameType::kPing ? 1 : 0;
+    }
+    tracer->record(std::move(ev));
+  }
   Bytes frame;
   appendU32(frame, static_cast<std::uint32_t>(payload.size()));
   appendU32(frame, stream_id);
@@ -124,12 +169,14 @@ transport::Stream::Ptr Tunnel::openStream(
   auto stream = TunnelStream::Ptr(new TunnelStream(shared_from_this(), id));
   streams_[id] = stream;
   ++streams_opened_;
+  if (c_streams_opened_ != nullptr) c_streams_opened_->inc();
   sendFrame(FrameType::kOpen, id, encodeTarget(target, passthrough));
   return wrapIfEncrypted(std::move(stream), passthrough,
                          /*client_side=*/true);
 }
 
 void Tunnel::rotateBlinding(std::uint32_t new_epoch) {
+  if (c_rotations_ != nullptr) c_rotations_->inc();
   Bytes payload;
   appendU32(payload, new_epoch);
   sendFrame(FrameType::kRotate, 0, payload);  // sent under the old mapping

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "core/blinded_stream.h"
+#include "obs/hub.h"
 #include "sim/simulator.h"
 #include "transport/stream.h"
 
@@ -129,6 +130,14 @@ class Tunnel : public std::enable_shared_from_this<Tunnel> {
   std::function<void()> on_close_;
   std::function<void()> on_pong_;
   std::uint64_t streams_opened_ = 0;
+
+  // Per-frame-type tx counters, indexed by FrameType (0 unused); resolved
+  // once in start(), null without a hub.
+  obs::Counter* c_frames_tx_[7] = {};
+  obs::Counter* c_streams_opened_ = nullptr;
+  obs::Counter* c_rotations_ = nullptr;
 };
+
+const char* frameTypeName(FrameType type);
 
 }  // namespace sc::core

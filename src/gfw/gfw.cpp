@@ -5,7 +5,38 @@
 namespace sc::gfw {
 
 Gfw::Gfw(net::Network& network, GfwConfig config)
-    : network_(network), config_(config) {}
+    : network_(network), config_(config) {
+  resolveInstruments();
+}
+
+void Gfw::resolveInstruments() {
+  obs::Registry* reg = obs::registryOf(network_.sim());
+  if (reg == nullptr) return;
+  c_inspected_ = reg->counter("gfw.packets_inspected");
+  c_ip_blocked_ = reg->counter("gfw.ip_blocked");
+  c_dns_poisoned_ = reg->counter("gfw.dns_poisoned");
+  c_rst_injected_ = reg->counter("gfw.rst_injected");
+  c_disciplined_ = reg->counter("gfw.disciplined_drops");
+  c_leniency_ = reg->counter("gfw.leniency_granted");
+  c_classified_ = reg->counter("gfw.flows_classified");
+  c_probes_ = reg->counter("gfw.probes_launched");
+  c_confirmed_ = reg->counter("gfw.suspects_confirmed");
+}
+
+void Gfw::traceVerdict(const net::Packet& pkt, const char* inspector,
+                       const char* action) {
+  obs::Tracer* tracer = obs::tracerOf(network_.sim());
+  if (tracer == nullptr) return;
+  obs::Event ev;
+  ev.at = network_.sim().now();
+  ev.type = obs::EventType::kGfwVerdict;
+  ev.what = inspector;
+  ev.detail = action;
+  ev.flow = net::flowKeyOf(pkt);
+  ev.pkt_id = pkt.id;
+  ev.tag = pkt.measure_tag;
+  tracer->record(std::move(ev));
+}
 
 void Gfw::attachTo(net::Link& link, net::Direction outbound) {
   outbound_ = outbound;
@@ -55,6 +86,7 @@ bool Gfw::endpointIsRegisteredIcp(const net::Packet& pkt, bool outbound) const {
 void Gfw::injectRst(const net::Packet& offending, net::Link& link,
                     net::Direction dir) {
   ++stats_.rst_injected;
+  if (c_rst_injected_ != nullptr) c_rst_injected_->inc();
   const auto& t = offending.tcp();
   // Forged RST toward the client (appears to come from the server)...
   net::TcpFlags rst;
@@ -86,6 +118,8 @@ void Gfw::maybePoisonDns(const net::Packet& pkt, net::Link& link,
   if (!any_blocked) return;
 
   ++stats_.dns_poisoned;
+  if (c_dns_poisoned_ != nullptr) c_dns_poisoned_->inc();
+  traceVerdict(pkt, "dns_poison", "forged_answer");
   dns::Message forged;
   forged.id = query->id;
   forged.is_response = true;
@@ -108,10 +142,27 @@ void Gfw::scheduleProbe(net::Endpoint server) {
   if (prober_ == nullptr || !config_.active_probing) return;
   if (!probed_servers_.insert(server.ip).second) return;  // already checked
   ++stats_.probes_launched;
-  network_.sim().schedule(config_.probe_delay, [this, server] {
-    prober_->probe(server, [this, server](bool confirmed) {
+  if (c_probes_ != nullptr) c_probes_->inc();
+  const auto trace_probe = [this, server](obs::EventType type,
+                                          std::int64_t result) {
+    obs::Tracer* tracer = obs::tracerOf(network_.sim());
+    if (tracer == nullptr) return;
+    obs::Event ev;
+    ev.at = network_.sim().now();
+    ev.type = type;
+    ev.what = type == obs::EventType::kProbeLaunch ? "launch" : "result";
+    ev.flow.dst = server.ip.v;
+    ev.flow.dst_port = server.port;
+    ev.a = result;
+    tracer->record(std::move(ev));
+  };
+  trace_probe(obs::EventType::kProbeLaunch, server.port);
+  network_.sim().schedule(config_.probe_delay, [this, server, trace_probe] {
+    prober_->probe(server, [this, server, trace_probe](bool confirmed) {
+      trace_probe(obs::EventType::kProbeResult, confirmed ? 1 : 0);
       if (!confirmed) return;
       ++stats_.suspects_confirmed;
+      if (c_confirmed_ != nullptr) c_confirmed_->inc();
       suspect_servers_[server.ip] =
           network_.sim().now() + config_.suspect_block_ttl;
     });
@@ -152,6 +203,8 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
   flow.classified = true;
   flow.cls = cls;
   ++stats_.flows_classified;
+  if (c_classified_ != nullptr) c_classified_->inc();
+  traceVerdict(pkt, "classifier", flowClassName(cls));
   ++class_counts_[cls];
 
   const bool outbound = dir == outbound_;
@@ -163,6 +216,7 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
       if (!config_.keyword_filtering) break;
       const auto host = extractHttpHost(pkt.payload);
       if (host.has_value() && !host->empty() && domains_.isBlocked(*host)) {
+        traceVerdict(pkt, "http_keyword", "rst");
         injectRst(pkt, link, dir);
         flow.killed = true;
       }
@@ -173,11 +227,13 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
       const auto hello = parseClientHello(pkt.payload);
       if (config_.tls_sni_filtering && hello.has_value() &&
           domains_.isBlocked(hello->sni)) {
+        traceVerdict(pkt, "tls_sni", "rst");
         injectRst(pkt, link, dir);
         flow.killed = true;
         break;
       }
       if (cls == FlowClass::kTorTls && config_.protocol_fingerprinting) {
+        traceVerdict(pkt, "tls_fingerprint", "discipline");
         applyDiscipline(flow);
         if (!flow.probe_launched) {
           flow.probe_launched = true;
@@ -192,8 +248,11 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
           endpointIsRegisteredIcp(pkt, outbound)) {
         flow.lenient = true;
         ++stats_.leniency_granted;
+        if (c_leniency_ != nullptr) c_leniency_->inc();
+        traceVerdict(pkt, "entropy", "icp_leniency");
         break;
       }
+      traceVerdict(pkt, "entropy", "throttle");
       applyDiscipline(flow);
       if (!flow.probe_launched) {
         flow.probe_launched = true;
@@ -204,7 +263,11 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
     case FlowClass::kVpnPptp:
     case FlowClass::kVpnL2tp:
     case FlowClass::kOpenVpn:
-      if (config_.protocol_fingerprinting) applyDiscipline(flow);
+      if (config_.protocol_fingerprinting) {
+        traceVerdict(pkt, "protocol_fingerprint",
+                     config_.block_vpn_protocols ? "block" : "pass");
+        applyDiscipline(flow);
+      }
       break;
     case FlowClass::kTextLike:
     default:
@@ -215,6 +278,7 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
 net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
                                          net::Link& link) {
   ++stats_.packets_inspected;
+  if (c_inspected_ != nullptr) c_inspected_->inc();
   const bool outbound = dir == outbound_;
   const sim::Time now = network_.sim().now();
 
@@ -222,6 +286,8 @@ net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
   if (config_.ip_blocking &&
       (ips_.isBlocked(pkt.dst, now) || ips_.isBlocked(pkt.src, now))) {
     ++stats_.ip_blocked;
+    if (c_ip_blocked_ != nullptr) c_ip_blocked_->inc();
+    traceVerdict(pkt, "ip_blocklist", "drop");
     return Verdict::kDrop;
   }
 
@@ -251,12 +317,16 @@ net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
     const net::Ipv4 server_ip = outbound ? pkt.dst : pkt.src;
     if (isSuspectServer(server_ip) &&
         !(config_.registered_icp_leniency &&
-          endpointIsRegisteredIcp(pkt, outbound)))
+          endpointIsRegisteredIcp(pkt, outbound))) {
       flow.drop_prob = config_.shadowsocks_discipline;
+      traceVerdict(pkt, "active_probe", "discipline");
+    }
   }
 
   if (flow.drop_prob > 0.0 && network_.sim().rng().chance(flow.drop_prob)) {
     ++stats_.disciplined_drops;
+    if (c_disciplined_ != nullptr) c_disciplined_->inc();
+    traceVerdict(pkt, "discipline", "drop");
     return Verdict::kDrop;
   }
   return Verdict::kPass;

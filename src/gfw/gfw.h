@@ -86,6 +86,11 @@ class Gfw final : public net::PacketFilter {
 
   void classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
                     net::Direction dir);
+  // Emits a kGfwVerdict trace event (inspector that fired + action taken)
+  // when tracing is enabled; no-op (one branch) otherwise.
+  void traceVerdict(const net::Packet& pkt, const char* inspector,
+                    const char* action);
+  void resolveInstruments();
   void applyDiscipline(Flow& flow);
   bool endpointIsRegisteredIcp(const net::Packet& pkt, bool outbound) const;
   void injectRst(const net::Packet& offending, net::Link& link,
@@ -107,6 +112,17 @@ class Gfw final : public net::PacketFilter {
   std::unordered_map<net::Ipv4, sim::Time> suspect_servers_;
   Stats stats_;
   std::map<FlowClass, std::uint64_t> class_counts_;
+
+  // Pre-resolved metric handles mirroring Stats (null without a hub).
+  obs::Counter* c_inspected_ = nullptr;
+  obs::Counter* c_ip_blocked_ = nullptr;
+  obs::Counter* c_dns_poisoned_ = nullptr;
+  obs::Counter* c_rst_injected_ = nullptr;
+  obs::Counter* c_disciplined_ = nullptr;
+  obs::Counter* c_leniency_ = nullptr;
+  obs::Counter* c_classified_ = nullptr;
+  obs::Counter* c_probes_ = nullptr;
+  obs::Counter* c_confirmed_ = nullptr;
 };
 
 // The address poisoned answers point at (an unroutable sinkhole, as the real

@@ -1,5 +1,9 @@
 #include "measure/campaign.h"
 
+#include <string>
+
+#include "obs/hub.h"
+
 namespace sc::measure {
 
 namespace {
@@ -22,6 +26,16 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
   result.connections_estimate = connectionsPerAccess(method);
 
   auto& sim = tb.sim();
+  if (obs::Tracer* tr = obs::tracerOf(sim)) {
+    obs::Event ev;
+    ev.at = sim.now();
+    ev.type = obs::EventType::kNote;
+    ev.what = "campaign_start";
+    ev.detail = std::string(methodName(method)) + " host=" + options.host;
+    ev.tag = tag;
+    ev.a = options.accesses;
+    tr->record(ev);
+  }
   bool ready = false, ready_result = false;
   auto& client = tb.addClient(method, tag, [&](bool ok) {
     ready = true;
@@ -97,6 +111,14 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
   const int denom = std::max(1, result.successes + result.failures);
   result.traffic_kb_per_access =
       static_cast<double>(result.client_bytes) / 1024.0 / denom;
+  if (obs::Registry* reg = obs::registryOf(sim)) {
+    reg->counter("campaign.accesses")->inc(
+        static_cast<std::uint64_t>(options.accesses));
+    reg->counter("campaign.successes")->inc(
+        static_cast<std::uint64_t>(result.successes));
+    reg->counter("campaign.failures")->inc(
+        static_cast<std::uint64_t>(result.failures));
+  }
   return result;
 }
 

@@ -17,6 +17,8 @@ class Report {
   Report(std::string title, std::vector<std::string> columns);
   void addRow(ReportRow row) { rows_.push_back(std::move(row)); }
   void print() const;
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
   const std::vector<ReportRow>& rows() const noexcept { return rows_; }
 
  private:

@@ -21,6 +21,10 @@ Summary Samples::summarize() const {
   for (double v : sorted) var += (v - s.mean) * (v - s.mean);
   s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
   const auto pct = [&sorted](double p) {
+    // With a single sample every percentile is that sample; the lerp below
+    // would also produce it, but only via 0 * frac arithmetic — make the
+    // degenerate case explicit.
+    if (sorted.size() == 1) return sorted.front();
     const double idx = p * static_cast<double>(sorted.size() - 1);
     const auto lo = static_cast<std::size_t>(idx);
     const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -28,15 +32,19 @@ Summary Samples::summarize() const {
     return sorted[lo] * (1 - frac) + sorted[hi] * frac;
   };
   s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
   s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
   return s;
 }
 
 std::string formatSummary(const Summary& s, const std::string& unit) {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "mean %.2f %s (min %.2f, max %.2f, p95 %.2f, n=%zu)", s.mean,
-                unit.c_str(), s.min, s.max, s.p95, s.n);
+                "mean %.2f %s (stddev %.2f, min %.2f, max %.2f, p50 %.2f, "
+                "p95 %.2f, n=%zu)",
+                s.mean, unit.c_str(), s.stddev, s.min, s.max, s.p50, s.p95,
+                s.n);
   return buf;
 }
 

@@ -14,7 +14,9 @@ struct Summary {
   double max = 0;
   double stddev = 0;
   double p50 = 0;
+  double p90 = 0;
   double p95 = 0;
+  double p99 = 0;
 };
 
 class Samples {

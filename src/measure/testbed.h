@@ -24,6 +24,7 @@
 #include "http/browser.h"
 #include "http/origin.h"
 #include "measure/calibration.h"
+#include "obs/hub.h"
 #include "openvpn/openvpn.h"
 #include "regulation/mps_investigation.h"
 #include "shadowsocks/shadowsocks.h"
@@ -56,6 +57,11 @@ struct TestbedOptions {
   int tor_public_middles = 2;
   int tor_public_exits = 2;
   sim::Time ss_keepalive = 10 * sim::kSecond;  // paper default
+  // Structured event tracing (obs::Tracer). Off by default: metrics are
+  // always collected (they observe, never perturb), but the trace ring only
+  // fills when requested.
+  bool tracing = false;
+  std::size_t trace_capacity = obs::Tracer::kDefaultCap;
 };
 
 class Testbed {
@@ -97,6 +103,7 @@ class Testbed {
 
   // ---- world handles ----
   sim::Simulator& sim() noexcept { return sim_; }
+  obs::Hub& hub() noexcept { return hub_; }
   net::Network& network() noexcept { return network_; }
   net::World& world() noexcept { return *world_; }
   gfw::Gfw& gfw() noexcept { return *gfw_; }
@@ -133,6 +140,9 @@ class Testbed {
 
   TestbedOptions options_;
   sim::Simulator sim_;
+  // Declared (and constructed) before network_ so every layer below sees
+  // the hub at construction and can pre-resolve its metric handles.
+  obs::Hub hub_;
   net::Network network_;
   std::unique_ptr<net::World> world_;
 

@@ -8,7 +8,14 @@
 namespace sc::net {
 
 Link::Link(Network& net, Node& a, Node& b, LinkParams params, std::string name)
-    : net_(net), a_(&a), b_(&b), params_(params), name_(std::move(name)) {}
+    : net_(net), a_(&a), b_(&b), params_(params), name_(std::move(name)) {
+  if (obs::Registry* reg = obs::registryOf(net_.sim())) {
+    c_bytes_[0] = reg->counter("net.link." + name_ + ".bytes_ab");
+    c_bytes_[1] = reg->counter("net.link." + name_ + ".bytes_ba");
+    h_queue_delay_ = reg->histogram("net.link.queue_delay_us");
+    g_queue_depth_ = reg->gauge("net.link.max_queue_delay_us");
+  }
+}
 
 Node& Link::peer(const Node& n) const {
   assert(&n == a_ || &n == b_);
@@ -43,12 +50,31 @@ void Link::transmit(Packet pkt, const Node& from) {
   const auto ser =
       static_cast<sim::Time>(bits / params_.bandwidth_bps * sim::kSecond);
   const sim::Time start = std::max(now, next_free_[d]);
-  if (start - now > params_.max_queue_delay) {
+  const sim::Time queue_delay = start - now;
+  if (queue_delay > params_.max_queue_delay) {
+    if (obs::Tracer* tracer = obs::tracerOf(sim)) {
+      obs::Event ev;
+      ev.at = now;
+      ev.type = obs::EventType::kQueueOverflow;
+      ev.what = "tail_drop";
+      ev.detail = name_;
+      ev.flow = flowKeyOf(pkt);
+      ev.pkt_id = pkt.id;
+      ev.tag = pkt.measure_tag;
+      ev.a = queue_delay;
+      tracer->record(std::move(ev));
+    }
     net_.noteLostQueue(pkt);
     return;
   }
   next_free_[d] = start + ser;
   bytes_carried_[d] += pkt.wireSize();
+  last_queue_delay_ = queue_delay;
+  if (c_bytes_[d] != nullptr) {
+    c_bytes_[d]->inc(pkt.wireSize());
+    h_queue_delay_->observe(static_cast<double>(queue_delay));
+    g_queue_depth_->setMax(static_cast<double>(queue_delay));
+  }
 
   scheduleDelivery(dir, std::move(pkt));
 }

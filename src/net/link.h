@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/registry.h"
 #include "sim/time.h"
 
 namespace sc::net {
@@ -77,6 +78,10 @@ class Link {
     return bytes_carried_[static_cast<int>(dir)];
   }
 
+  // Queueing delay the most recent transmitted packet experienced at the
+  // head of the link (also fed to the shared obs histogram).
+  sim::Time lastQueueDelay() const noexcept { return last_queue_delay_; }
+
  private:
   void scheduleDelivery(Direction dir, Packet pkt);
 
@@ -88,6 +93,12 @@ class Link {
   std::vector<PacketFilter*> filters_;
   sim::Time next_free_[2] = {0, 0};
   std::uint64_t bytes_carried_[2] = {0, 0};
+  sim::Time last_queue_delay_ = 0;
+
+  // Pre-resolved obs handles (null when no hub is installed).
+  obs::Counter* c_bytes_[2] = {nullptr, nullptr};
+  obs::Histogram* h_queue_delay_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
 };
 
 }  // namespace sc::net

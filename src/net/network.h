@@ -10,6 +10,7 @@
 
 #include "net/link.h"
 #include "net/node.h"
+#include "obs/hub.h"
 #include "sim/simulator.h"
 
 namespace sc::net {
@@ -57,12 +58,26 @@ class Network {
   std::uint64_t totalOriginated() const noexcept { return total_originated_; }
 
  private:
+  // Resolves metric handles once the simulator has a hub; every note* path
+  // afterwards is a pre-resolved pointer bump (no map lookup per packet).
+  void resolveInstruments();
+
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t next_packet_id_ = 0;
   std::unordered_map<std::uint32_t, TagStats> tag_stats_;
   std::uint64_t total_originated_ = 0;
+
+  obs::Counter* c_originated_ = nullptr;
+  obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_bytes_originated_ = nullptr;
+  obs::Counter* c_drop_random_ = nullptr;
+  obs::Counter* c_drop_filter_ = nullptr;
+  obs::Counter* c_drop_queue_ = nullptr;
 };
+
+// Flattens a packet's identity into the obs::FlowKey trace field.
+obs::FlowKey flowKeyOf(const Packet& pkt);
 
 }  // namespace sc::net

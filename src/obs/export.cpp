@@ -1,0 +1,216 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace sc::obs {
+
+namespace {
+
+std::string fmtDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string dottedQuad(std::uint32_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 255u,
+                (v >> 16) & 255u, (v >> 8) & 255u, v & 255u);
+  return buf;
+}
+
+// ---- minimal scanners for our own JSONL output ----
+
+bool findKey(const std::string& line, const char* key, std::size_t& pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  pos = at + needle.size();
+  return true;
+}
+
+std::string scanString(const std::string& line, const char* key) {
+  std::size_t pos = 0;
+  if (!findKey(line, key, pos) || pos >= line.size() || line[pos] != '"')
+    return {};
+  std::string out;
+  for (std::size_t i = pos + 1; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      break;
+    } else {
+      out.push_back(line[i]);
+    }
+  }
+  return out;
+}
+
+double scanNumber(const std::string& line, const char* key) {
+  std::size_t pos = 0;
+  if (!findKey(line, key, pos)) return 0;
+  return std::strtod(line.c_str() + pos, nullptr);
+}
+
+std::uint64_t scanU64(const std::string& line, const char* key) {
+  std::size_t pos = 0;
+  if (!findKey(line, key, pos)) return 0;
+  return std::strtoull(line.c_str() + pos, nullptr, 10);
+}
+
+}  // namespace
+
+void writeMetricsJsonl(const Registry& registry, std::ostream& out) {
+  for (const MetricRow& r : registry.snapshot()) {
+    out << "{\"name\":\"" << jsonEscape(r.name) << "\",\"kind\":\"" << r.kind
+        << "\"";
+    if (r.kind == "counter") {
+      out << ",\"count\":" << r.count;
+    } else if (r.kind == "gauge") {
+      out << ",\"value\":" << fmtDouble(r.value);
+    } else {
+      out << ",\"count\":" << r.count << ",\"sum\":" << fmtDouble(r.sum)
+          << ",\"min\":" << fmtDouble(r.min) << ",\"max\":" << fmtDouble(r.max)
+          << ",\"p50\":" << fmtDouble(r.p50) << ",\"p90\":" << fmtDouble(r.p90)
+          << ",\"p99\":" << fmtDouble(r.p99) << ",\"buckets\":[";
+      bool first = true;
+      for (const auto& [edge, n] : r.buckets) {
+        if (!first) out << ",";
+        first = false;
+        out << "[\"" << fmtDouble(edge) << "\"," << n << "]";
+      }
+      out << "]";
+    }
+    out << "}\n";
+  }
+}
+
+void writeMetricsCsv(const Registry& registry, std::ostream& out) {
+  out << "name,kind,count,value,sum,min,max,p50,p90,p99\n";
+  for (const MetricRow& r : registry.snapshot()) {
+    out << r.name << "," << r.kind << "," << r.count << ","
+        << fmtDouble(r.value) << "," << fmtDouble(r.sum) << ","
+        << fmtDouble(r.min) << "," << fmtDouble(r.max) << ","
+        << fmtDouble(r.p50) << "," << fmtDouble(r.p90) << ","
+        << fmtDouble(r.p99) << "\n";
+  }
+}
+
+std::vector<MetricRow> readMetricsJsonl(std::istream& in) {
+  std::vector<MetricRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MetricRow r;
+    r.name = scanString(line, "name");
+    r.kind = scanString(line, "kind");
+    if (r.kind == "counter") {
+      r.count = scanU64(line, "count");
+    } else if (r.kind == "gauge") {
+      r.value = scanNumber(line, "value");
+    } else if (r.kind == "histogram") {
+      r.count = scanU64(line, "count");
+      r.sum = scanNumber(line, "sum");
+      r.min = scanNumber(line, "min");
+      r.max = scanNumber(line, "max");
+      r.p50 = scanNumber(line, "p50");
+      r.p90 = scanNumber(line, "p90");
+      r.p99 = scanNumber(line, "p99");
+      std::size_t pos = 0;
+      if (findKey(line, "buckets", pos)) {
+        const char* p = line.c_str() + pos;
+        while ((p = std::strstr(p, "[\"")) != nullptr) {
+          char* end = nullptr;
+          const double edge = std::strtod(p + 2, &end);
+          const char* comma = std::strchr(end, ',');
+          if (comma == nullptr) break;
+          const std::uint64_t n = std::strtoull(comma + 1, nullptr, 10);
+          r.buckets.emplace_back(edge, n);
+          p = comma;
+        }
+      }
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::string traceEventJson(const Event& ev) {
+  std::ostringstream out;
+  out << "{\"t\":" << ev.at << ",\"type\":\"" << eventTypeName(ev.type)
+      << "\",\"what\":\"" << jsonEscape(ev.what) << "\",\"detail\":\""
+      << jsonEscape(ev.detail) << "\",\"src\":\"" << dottedQuad(ev.flow.src)
+      << "\",\"sport\":" << ev.flow.src_port << ",\"dst\":\""
+      << dottedQuad(ev.flow.dst) << "\",\"dport\":" << ev.flow.dst_port
+      << ",\"proto\":" << static_cast<unsigned>(ev.flow.proto)
+      << ",\"pkt\":" << ev.pkt_id << ",\"tag\":" << ev.tag
+      << ",\"a\":" << ev.a << "}";
+  return out.str();
+}
+
+void writeTraceJsonl(const Tracer& tracer, std::ostream& out) {
+  for (const Event& ev : tracer.events()) out << traceEventJson(ev) << "\n";
+}
+
+void writeTraceCsv(const Tracer& tracer, std::ostream& out) {
+  out << "t,type,what,detail,src,sport,dst,dport,proto,pkt,tag,a\n";
+  for (const Event& ev : tracer.events()) {
+    out << ev.at << "," << eventTypeName(ev.type) << "," << ev.what << ","
+        << ev.detail << "," << dottedQuad(ev.flow.src) << ","
+        << ev.flow.src_port << "," << dottedQuad(ev.flow.dst) << ","
+        << ev.flow.dst_port << "," << static_cast<unsigned>(ev.flow.proto)
+        << "," << ev.pkt_id << "," << ev.tag << "," << ev.a << "\n";
+  }
+}
+
+namespace {
+bool openAndWrite(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  writer(out);
+  return true;
+}
+
+bool wantsCsv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+}  // namespace
+
+bool dumpMetrics(const Registry& registry, const std::string& path) {
+  return openAndWrite(path, [&](std::ostream& out) {
+    wantsCsv(path) ? writeMetricsCsv(registry, out)
+                   : writeMetricsJsonl(registry, out);
+  });
+}
+
+bool dumpTrace(const Tracer& tracer, const std::string& path) {
+  return openAndWrite(path, [&](std::ostream& out) {
+    wantsCsv(path) ? writeTraceCsv(tracer, out) : writeTraceJsonl(tracer, out);
+  });
+}
+
+}  // namespace sc::obs

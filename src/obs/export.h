@@ -1,0 +1,36 @@
+// Exporters: dump a metrics snapshot and the event trace as JSONL or CSV
+// for offline analysis (grep/jq/pandas), plus a parser for our own metrics
+// JSONL so snapshots round-trip in tests.
+//
+// All output is deterministic: name-sorted metrics, ring-ordered events,
+// integers where exact, and %.17g for doubles (lossless round-trip).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace sc::obs {
+
+void writeMetricsJsonl(const Registry& registry, std::ostream& out);
+void writeMetricsCsv(const Registry& registry, std::ostream& out);
+
+// Parses lines produced by writeMetricsJsonl (not a general JSON parser).
+std::vector<MetricRow> readMetricsJsonl(std::istream& in);
+
+void writeTraceJsonl(const Tracer& tracer, std::ostream& out);
+void writeTraceCsv(const Tracer& tracer, std::ostream& out);
+
+// Convenience: write to a file path; returns false (and warns on stderr) if
+// the file cannot be opened. ".csv" suffix selects CSV, anything else JSONL.
+bool dumpMetrics(const Registry& registry, const std::string& path);
+bool dumpTrace(const Tracer& tracer, const std::string& path);
+
+// A single trace line rendered as JSON (used by both writeTraceJsonl and
+// callers that want to print a few events, e.g. examples).
+std::string traceEventJson(const Event& ev);
+
+}  // namespace sc::obs

@@ -1,0 +1,53 @@
+// The Hub bundles one Registry + one Tracer and attaches them to a
+// Simulator, which is the one object every subsystem already holds a path
+// to (Network::sim(), HostStack::sim(), Tunnel's sim_, ...). Instrumented
+// code asks the simulator for its hub instead of having observability
+// plumbed through every constructor.
+//
+// sim::Simulator only forward-declares Hub and stores a raw pointer, so
+// sc_sim does not depend on sc_obs; everything above (net, gfw, core,
+// transport, measure) links sc_obs and includes this header.
+#pragma once
+
+#include "obs/registry.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace sc::obs {
+
+class Hub {
+ public:
+  // Installs itself on `sim` for its lifetime.
+  explicit Hub(sim::Simulator& sim) : sim_(sim) { sim_.setHub(this); }
+  ~Hub() {
+    if (sim_.hub() == this) sim_.setHub(nullptr);
+  }
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  Registry& registry() noexcept { return registry_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Registry& registry() const noexcept { return registry_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+ private:
+  sim::Simulator& sim_;
+  Registry registry_;
+  Tracer tracer_;
+};
+
+// Null when no hub is installed — callers guard every instrument pointer.
+inline Registry* registryOf(sim::Simulator& sim) {
+  Hub* h = sim.hub();
+  return h == nullptr ? nullptr : &h->registry();
+}
+
+// Null when there is no hub OR tracing is disabled: one check on the hot
+// path covers both ("zero-cost when disabled").
+inline Tracer* tracerOf(sim::Simulator& sim) {
+  Hub* h = sim.hub();
+  return h != nullptr && h->tracer().enabled() ? &h->tracer() : nullptr;
+}
+
+}  // namespace sc::obs

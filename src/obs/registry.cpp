@@ -1,0 +1,121 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sc::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lo_edge = i == 0 ? min() : bounds_[i - 1];
+    const double hi_edge = i < bounds_.size() ? std::min(bounds_[i], max())
+                                              : max();
+    const auto next = seen + buckets_[i];
+    if (target <= static_cast<double>(next)) {
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(buckets_[i]);
+      const double lo = std::max(lo_edge, min());
+      return lo + (hi_edge - lo) * frac;
+    }
+    seen = next;
+  }
+  return max();
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::unique_ptr<Counter>(new Counter());
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::unique_ptr<Gauge>(new Gauge());
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr)
+    slot = std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+std::vector<double> Registry::defaultTimeBoundsUs() {
+  // 1us .. 60s in 1-2-5 steps: fine enough for RTT/queue-delay shapes,
+  // coarse enough to stay 24 buckets.
+  return {1,      2,      5,      10,     20,     50,      100,     200,
+          500,    1e3,    2e3,    5e3,    1e4,    2e4,     5e4,     1e5,
+          2e5,    5e5,    1e6,    2e6,    5e6,    1e7,     3e7,     6e7};
+}
+
+std::vector<MetricRow> Registry::snapshot() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "counter";
+    r.count = c->value();
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "gauge";
+    r.value = g->value();
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow r;
+    r.name = name;
+    r.kind = "histogram";
+    r.count = h->count();
+    r.sum = h->sum();
+    r.min = h->min();
+    r.max = h->max();
+    r.p50 = h->percentile(0.50);
+    r.p90 = h->percentile(0.90);
+    r.p99 = h->percentile(0.99);
+    const auto& bounds = h->bounds();
+    const auto& buckets = h->buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;  // sparse: only occupied buckets
+      const double edge = i < bounds.size()
+                              ? bounds[i]
+                              : std::numeric_limits<double>::infinity();
+      r.buckets.emplace_back(edge, buckets[i]);
+    }
+    rows.push_back(std::move(r));
+  }
+  // Maps are already name-sorted per kind; merge-sort the three kinds so the
+  // snapshot is globally name-ordered (stable across runs and compilers).
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+}  // namespace sc::obs

@@ -1,0 +1,121 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms cheap
+// enough for per-packet hot paths. Subsystems resolve a handle once (a
+// stable pointer owned by the registry) and bump it with a plain integer
+// add — no map lookup, no allocation, no branch beyond a null check on the
+// instrument pointer.
+//
+// Everything here is deterministic: instruments live in name-sorted maps,
+// values are exact integers where possible, and snapshots/export emit the
+// same bytes for the same simulated run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void setMax(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  void add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  double value_ = 0;
+};
+
+// Fixed-bucket histogram: `bounds` are ascending upper edges; one implicit
+// overflow bucket catches everything above the last edge. Percentiles are
+// estimated by linear interpolation inside the containing bucket, which is
+// what the exporters and the p90/p99 summary columns consume.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  // p in [0, 1]; bucket-interpolated estimate (exact at min/max).
+  double percentile(double p) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;          // ascending upper edges
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// One row of Registry::snapshot(); also what the JSONL round-trip parser
+// reconstructs, so tests can compare exporter output field by field.
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  std::uint64_t count = 0;  // counter value / histogram count
+  double value = 0;         // gauge value
+  double sum = 0, min = 0, max = 0;            // histogram only
+  double p50 = 0, p90 = 0, p99 = 0;            // histogram only
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // histogram only
+
+  bool operator==(const MetricRow&) const = default;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Resolve-or-create; the returned pointer is stable for the registry's
+  // lifetime and is the hot-path handle.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = defaultTimeBoundsUs());
+
+  // Microsecond-scale latency edges (1us .. 60s, roughly log-spaced).
+  static std::vector<double> defaultTimeBoundsUs();
+
+  // Name-sorted, deterministic.
+  std::vector<MetricRow> snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sc::obs

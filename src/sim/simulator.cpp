@@ -1,9 +1,30 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 
 namespace sc::sim {
+
+namespace {
+// Accumulates wallclock spent inside a run loop into `total` on scope exit.
+// Wallclock never feeds the trace or any simulated behaviour — it is a
+// metrics-only number (events/sec of the simulator itself).
+class WallTimer {
+ public:
+  explicit WallTimer(double& total)
+      : total_(total), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    total_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+ private:
+  double& total_;
+  std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
 
 void EventHandle::cancel() {
   if (alive_) *alive_ = false;
@@ -22,6 +43,7 @@ EventHandle Simulator::scheduleAt(Time at, std::function<void()> fn) {
   assert(at >= now_);
   auto alive = std::make_shared<bool>(true);
   queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return EventHandle(std::move(alive));
 }
 
@@ -32,11 +54,13 @@ bool Simulator::step() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.at;
+  ++events_executed_;
   if (*ev.alive) ev.fn();
   return true;
 }
 
 std::size_t Simulator::run(Time deadline) {
+  WallTimer timer(wall_seconds_);
   std::size_t n = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
     step();
@@ -52,6 +76,7 @@ std::size_t Simulator::runUntil(Time deadline) {
 }
 
 bool Simulator::runWhile(const std::function<bool()>& done, Time deadline) {
+  WallTimer timer(wall_seconds_);
   if (done()) return true;
   while (!queue_.empty() && queue_.top().at <= deadline) {
     step();

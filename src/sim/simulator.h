@@ -15,6 +15,10 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace sc::obs {
+class Hub;
+}  // namespace sc::obs
+
 namespace sc::sim {
 
 class Simulator;
@@ -61,6 +65,20 @@ class Simulator {
 
   std::size_t pendingEvents() const noexcept { return queue_.size(); }
 
+  // ---- observability ----
+  // The installed obs::Hub (metrics registry + event tracer), or null.
+  // Stored as a forward-declared pointer so sc_sim stays below sc_obs in
+  // the link order; obs::Hub installs itself here on construction.
+  obs::Hub* hub() const noexcept { return hub_; }
+  void setHub(obs::Hub* hub) noexcept { hub_ = hub; }
+
+  // Execution counters the simulator tracks itself (the hub can't be called
+  // from here without inverting the dependency): total events executed,
+  // high-water queue depth, and wallclock spent inside run loops.
+  std::uint64_t eventsExecuted() const noexcept { return events_executed_; }
+  std::size_t maxQueueDepth() const noexcept { return max_queue_depth_; }
+  double wallSeconds() const noexcept { return wall_seconds_; }
+
  private:
   struct Event {
     Time at;
@@ -81,6 +99,10 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Rng rng_;
+  obs::Hub* hub_ = nullptr;
+  std::uint64_t events_executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  double wall_seconds_ = 0;
 };
 
 }  // namespace sc::sim

@@ -2,12 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/hub.h"
 #include "transport/host_stack.h"
 
 namespace sc::transport {
 
 namespace {
 constexpr int kMaxSynRetries = 6;
+}
+
+void TcpSocket::noteRetransmit(const char* kind, std::uint32_t seq) {
+  auto& sim = stack_.sim();
+  if (obs::Registry* reg = obs::registryOf(sim)) {
+    reg->counter("tcp.retransmissions")->inc();
+    reg->counter(std::string("tcp.retransmit.") + kind)->inc();
+  }
+  if (obs::Tracer* tracer = obs::tracerOf(sim)) {
+    obs::Event ev;
+    ev.at = sim.now();
+    ev.type = obs::EventType::kTcpRetransmit;
+    ev.what = kind;
+    ev.flow.src = local_.ip.v;
+    ev.flow.dst = remote_.ip.v;
+    ev.flow.src_port = local_.port;
+    ev.flow.dst_port = remote_.port;
+    ev.flow.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+    ev.tag = measure_tag_;
+    ev.a = seq;
+    tracer->record(std::move(ev));
+  }
 }
 
 TcpSocket::TcpSocket(HostStack& stack, net::Endpoint local,
@@ -150,6 +173,8 @@ void TcpSocket::armRetransmitTimer() {
 
 void TcpSocket::onRetransmitTimeout() {
   ++stats_.rtos;
+  if (obs::Registry* reg = obs::registryOf(stack_.sim()))
+    reg->counter("tcp.rto_fires")->inc();
   ++backoff_;
 
   if (state_ == State::kSynSent || state_ == State::kSynReceived) {
@@ -165,6 +190,7 @@ void TcpSocket::onRetransmitTimeout() {
     flags.syn = true;
     flags.ack = state_ == State::kSynReceived;
     ++stats_.retransmissions;
+    noteRetransmit("syn", iss_);
     sendSegment(flags, iss_, {});
     armRetransmitTimer();
     return;
@@ -181,6 +207,7 @@ void TcpSocket::onRetransmitTimeout() {
   head.retransmitted = true;
   head.sent_at = stack_.sim().now();
   ++stats_.retransmissions;
+  noteRetransmit("rto", head.seq);
   net::TcpFlags flags;
   flags.ack = true;
   flags.fin = head.fin;
@@ -262,6 +289,7 @@ void TcpSocket::handleAck(const net::Packet& pkt) {
       head.sent_at = stack_.sim().now();
       ++stats_.retransmissions;
       ++stats_.fast_retransmits;
+      noteRetransmit("fast", head.seq);
       net::TcpFlags flags;
       flags.ack = true;
       flags.fin = head.fin;

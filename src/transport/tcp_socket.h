@@ -91,6 +91,10 @@ class TcpSocket final : public Stream,
   static constexpr sim::Time kMaxRto = 60 * sim::kSecond;
   static constexpr sim::Time kInitialRto = sim::kSecond;
 
+  // Retransmissions are rare, so these resolve the obs handles per event
+  // (a map lookup) instead of paying per-socket resolution at connect time.
+  void noteRetransmit(const char* kind, std::uint32_t seq);
+
   void sendSegment(net::TcpFlags flags, std::uint32_t seq, Bytes payload);
   void sendAck();
   void trySendData();

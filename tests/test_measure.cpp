@@ -42,6 +42,70 @@ TEST(Stats, PercentilesInterpolate) {
   EXPECT_NEAR(sum.p95, 95.05, 0.1);
 }
 
+TEST(Stats, EmptySummaryIsAllZero) {
+  const Summary sum = Samples{}.summarize();
+  EXPECT_EQ(sum.n, 0u);
+  EXPECT_DOUBLE_EQ(sum.mean, 0.0);
+  EXPECT_DOUBLE_EQ(sum.min, 0.0);
+  EXPECT_DOUBLE_EQ(sum.max, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p50, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p90, 0.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 0.0);
+}
+
+TEST(Stats, SingleSampleEveryPercentileIsThatSample) {
+  Samples one;
+  one.add(42.0);
+  const Summary sum = one.summarize();
+  EXPECT_DOUBLE_EQ(sum.p50, 42.0);
+  EXPECT_DOUBLE_EQ(sum.p90, 42.0);
+  EXPECT_DOUBLE_EQ(sum.p95, 42.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 42.0);
+  EXPECT_DOUBLE_EQ(sum.min, 42.0);
+  EXPECT_DOUBLE_EQ(sum.max, 42.0);
+}
+
+TEST(Stats, TwoSamplesInterpolateBetweenThem) {
+  Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  const Summary sum = s.summarize();
+  EXPECT_EQ(sum.n, 2u);
+  // Lerp over [10, 20]: p = fraction of the way from min to max.
+  EXPECT_DOUBLE_EQ(sum.p50, 15.0);
+  EXPECT_DOUBLE_EQ(sum.p90, 19.0);
+  EXPECT_DOUBLE_EQ(sum.p99, 19.9);
+  EXPECT_NEAR(sum.stddev, 7.0711, 1e-3);  // sqrt(50)
+}
+
+TEST(Stats, HandComputedInterpolation) {
+  // Four samples: idx(p) = 3p over sorted {1, 2, 4, 8}.
+  Samples s;
+  for (double v : {8.0, 1.0, 4.0, 2.0}) s.add(v);
+  const Summary sum = s.summarize();
+  EXPECT_DOUBLE_EQ(sum.p50, 3.0);    // idx 1.5 -> 2 + 0.5*(4-2)
+  EXPECT_NEAR(sum.p90, 6.8, 1e-9);   // idx 2.7 -> 4 + 0.7*(8-4)
+  EXPECT_NEAR(sum.p99, 7.88, 1e-9);  // idx 2.97
+}
+
+// ---- Report ----
+
+TEST(Report, RowAndColumnRoundTrip) {
+  Report report("title", {"c1", "c2"});
+  report.addRow({"alpha", {1.0, 2.0}});
+  report.addRow({"beta", {3.5, 4.5}});
+  EXPECT_EQ(report.title(), "title");
+  ASSERT_EQ(report.columns().size(), 2u);
+  EXPECT_EQ(report.columns()[0], "c1");
+  EXPECT_EQ(report.columns()[1], "c2");
+  ASSERT_EQ(report.rows().size(), 2u);
+  EXPECT_EQ(report.rows()[0].label, "alpha");
+  EXPECT_DOUBLE_EQ(report.rows()[0].values[1], 2.0);
+  EXPECT_EQ(report.rows()[1].label, "beta");
+  ASSERT_EQ(report.rows()[1].values.size(), report.columns().size());
+  EXPECT_DOUBLE_EQ(report.rows()[1].values[0], 3.5);
+}
+
 TEST(Stats, FormatMentionsAllFields) {
   Samples s;
   s.add(1.5);

@@ -1,0 +1,253 @@
+// Tests for the observability layer: registry arithmetic, histogram
+// percentiles, tracer ring semantics, exporter round-trips, and the
+// end-to-end acceptance properties — trace drop counts agreeing with
+// Network::TagStats, and byte-identical traces across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "measure/campaign.h"
+#include "measure/testbed.h"
+#include "obs/export.h"
+#include "obs/hub.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace sc::obs {
+namespace {
+
+// ---- Registry basics ----
+
+TEST(Registry, CounterHandleIsStableAndShared) {
+  Registry reg;
+  Counter* a = reg.counter("x");
+  a->inc();
+  a->inc(4);
+  EXPECT_EQ(reg.counter("x"), a);  // resolve-or-create returns same handle
+  EXPECT_EQ(a->value(), 5u);
+}
+
+TEST(Registry, GaugeSetMax) {
+  Registry reg;
+  Gauge* g = reg.gauge("depth");
+  g->setMax(3);
+  g->setMax(1);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+  g->set(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 0.5);
+}
+
+TEST(Registry, HistogramCountsAndPercentiles) {
+  Registry reg;
+  Histogram* h = reg.histogram("lat", {10.0, 100.0, 1000.0});
+  for (int i = 0; i < 100; ++i) h->observe(50.0);
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->min(), 50.0);
+  EXPECT_DOUBLE_EQ(h->max(), 50.0);
+  // Everything in one bucket: every percentile collapses to [min, max].
+  EXPECT_GE(h->percentile(0.5), 50.0 - 1e-9);
+  EXPECT_LE(h->percentile(0.99), 50.0 + 1e-9);
+}
+
+TEST(Registry, HistogramOverflowBucket) {
+  Registry reg;
+  Histogram* h = reg.histogram("lat", {10.0});
+  h->observe(5.0);
+  h->observe(1e9);  // beyond the last edge -> overflow bucket
+  EXPECT_EQ(h->count(), 2u);
+  ASSERT_EQ(h->buckets().size(), 2u);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_DOUBLE_EQ(h->max(), 1e9);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry reg;
+  reg.counter("zz")->inc();
+  reg.gauge("aa")->set(1);
+  reg.histogram("mm")->observe(3);
+  const auto rows = reg.snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "aa");
+  EXPECT_EQ(rows[1].name, "mm");
+  EXPECT_EQ(rows[2].name, "zz");
+}
+
+// ---- Tracer ring ----
+
+TEST(Tracer, DisabledRecordIsNoOp) {
+  Tracer tr;
+  Event ev;
+  ev.what = "x";
+  tr.record(ev);
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(Tracer, RingOverwritesOldestAndKeepsOrder) {
+  Tracer tr;
+  tr.enable(/*cap=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Event ev;
+    ev.at = i;
+    ev.what = "tick";
+    tr.record(ev);
+  }
+  EXPECT_EQ(tr.recorded(), 10u);
+  EXPECT_EQ(tr.overwritten(), 6u);
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().at, 6);  // oldest surviving
+  EXPECT_EQ(evs.back().at, 9);
+}
+
+TEST(Tracer, TracerOfFoldsHubAndEnabledChecks) {
+  sim::Simulator sim(1);
+  EXPECT_EQ(tracerOf(sim), nullptr);  // no hub
+  Hub hub(sim);
+  EXPECT_EQ(tracerOf(sim), nullptr);  // hub, tracing off
+  EXPECT_NE(registryOf(sim), nullptr);
+  hub.tracer().enable();
+  EXPECT_EQ(tracerOf(sim), &hub.tracer());
+}
+
+// ---- Exporters: acceptance (a) — JSONL snapshot round-trip ----
+
+TEST(Export, MetricsJsonlRoundTrip) {
+  Registry reg;
+  reg.counter("pkts")->inc(12345);
+  reg.gauge("depth")->set(7.25);
+  Histogram* h = reg.histogram("delay_us");  // default time bounds
+  h->observe(1.5);
+  h->observe(333.0);
+  h->observe(1e12);  // overflow bucket, exercises the "inf" edge
+  reg.gauge("fraction")->set(0.1);  // not exactly representable
+
+  std::ostringstream out;
+  writeMetricsJsonl(reg, out);
+  std::istringstream in(out.str());
+  const auto parsed = readMetricsJsonl(in);
+  EXPECT_EQ(parsed, reg.snapshot());
+}
+
+TEST(Export, MetricsCsvHasHeaderAndRows) {
+  Registry reg;
+  reg.counter("a")->inc();
+  std::ostringstream out;
+  writeMetricsCsv(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name,kind"), std::string::npos);
+  EXPECT_NE(text.find("a,counter"), std::string::npos);
+}
+
+TEST(Export, TraceJsonlOneLinePerEvent) {
+  Tracer tr;
+  tr.enable();
+  Event ev;
+  ev.at = 42;
+  ev.type = EventType::kGfwVerdict;
+  ev.what = "tls_sni";
+  ev.detail = "rst";
+  tr.record(ev);
+  std::ostringstream out;
+  writeTraceJsonl(tr, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"gfw_verdict\""), std::string::npos);
+  EXPECT_NE(text.find("\"what\":\"tls_sni\""), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+// ---- End-to-end: the testbed with tracing on ----
+
+// Shared campaign runner: Shadowsocks across the GFW produces filter and
+// random drops on the border link.
+measure::CampaignResult runTracedCampaign(measure::Testbed& tb,
+                                          std::uint32_t tag) {
+  measure::CampaignOptions copts;
+  copts.accesses = 6;
+  copts.measure_rtt = false;
+  return measure::runAccessCampaign(tb, measure::Method::kShadowsocks, tag,
+                                    copts);
+}
+
+// Acceptance (b): per-cause drop counts in the trace equal TagStats exactly.
+TEST(EndToEnd, TraceDropCountsMatchTagStats) {
+  measure::TestbedOptions topts;
+  topts.tracing = true;
+  topts.trace_capacity = 1 << 20;  // no ring overwrite — we count everything
+  measure::Testbed tb(topts);
+  const std::uint32_t tag = 140;
+  const auto result = runTracedCampaign(tb, tag);
+  ASSERT_TRUE(result.setup_ok);
+
+  std::map<std::string, std::uint64_t> drops_by_cause;
+  for (const auto& ev : tb.hub().tracer().events()) {
+    if (ev.type == EventType::kPacketDrop && ev.tag == tag)
+      ++drops_by_cause[ev.what];
+  }
+  EXPECT_EQ(tb.hub().tracer().overwritten(), 0u);
+
+  const auto stats = tb.network().tagStats(tag);
+  EXPECT_EQ(drops_by_cause["filter"], stats.lost_filter);
+  EXPECT_EQ(drops_by_cause["random"], stats.lost_random);
+  EXPECT_EQ(drops_by_cause["queue"], stats.lost_queue);
+  // The campaign should actually have exercised the loss path.
+  EXPECT_GT(stats.lostTotal(), 0u);
+}
+
+// Acceptance (c): same seed -> byte-identical trace and metrics output.
+TEST(EndToEnd, SameSeedProducesByteIdenticalTraces) {
+  auto run = [] {
+    measure::TestbedOptions topts;
+    topts.seed = 7;
+    topts.tracing = true;
+    measure::Testbed tb(topts);
+    runTracedCampaign(tb, 150);
+    std::ostringstream trace, metrics;
+    writeTraceJsonl(tb.hub().tracer(), trace);
+    writeMetricsJsonl(tb.hub().registry(), metrics);
+    return std::pair{trace.str(), metrics.str()};
+  };
+  const auto [trace1, metrics1] = run();
+  const auto [trace2, metrics2] = run();
+  EXPECT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(metrics1, metrics2);
+}
+
+// Tracing off (the default) must not perturb results: the registry still
+// fills, the tracer stays empty.
+TEST(EndToEnd, TracingOffCollectsMetricsButNoEvents) {
+  measure::Testbed tb;
+  const auto result = runTracedCampaign(tb, 160);
+  ASSERT_TRUE(result.setup_ok);
+  EXPECT_EQ(tb.hub().tracer().recorded(), 0u);
+  EXPECT_GT(tb.hub().registry().counter("net.packets.originated")->value(),
+            0u);
+  EXPECT_GT(tb.hub().registry().counter("gfw.packets_inspected")->value(), 0u);
+}
+
+// The GFW verdict stream names real inspectors and carries the flow.
+TEST(EndToEnd, GfwVerdictEventsNameInspectors) {
+  measure::TestbedOptions topts;
+  topts.tracing = true;
+  measure::Testbed tb(topts);
+  const auto result = runTracedCampaign(tb, 170);
+  ASSERT_TRUE(result.setup_ok);
+  int verdicts = 0;
+  bool saw_flow = false;
+  for (const auto& ev : tb.hub().tracer().events()) {
+    if (ev.type != EventType::kGfwVerdict) continue;
+    ++verdicts;
+    EXPECT_STRNE(ev.what, "");
+    if (ev.flow.src != 0 && ev.flow.dst != 0) saw_flow = true;
+  }
+  EXPECT_GT(verdicts, 0);
+  EXPECT_TRUE(saw_flow);
+}
+
+}  // namespace
+}  // namespace sc::obs
