@@ -32,6 +32,36 @@ inline int accessesFromEnv(int fallback = 120) {
   return fallback;
 }
 
+// Parses a list of positive integers from the named environment variable;
+// any run of non-digits separates values. Empty when unset or digit-free.
+inline std::vector<int> parseIntList(const char* env_name) {
+  std::vector<int> out;
+  const char* env = std::getenv(env_name);
+  if (env == nullptr) return out;
+  int v = 0;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      v = v * 10 + (*p - '0');
+    } else {
+      if (v > 0) out.push_back(v);
+      v = 0;
+      if (*p == '\0') break;
+    }
+  }
+  return out;
+}
+
+inline int intFromEnv(const char* env_name, int fallback) {
+  const std::vector<int> v = parseIntList(env_name);
+  return v.empty() ? fallback : v.front();
+}
+
+// SC_BENCH_THREADS: worker count for the parallel campaign executor.
+// 0 (or unset) means std::thread::hardware_concurrency().
+inline unsigned threadsFromEnv() {
+  return static_cast<unsigned>(intFromEnv("SC_BENCH_THREADS", 0));
+}
+
 // Common bench options parsed from argv. Unknown arguments are rejected so a
 // typo'd flag fails loudly instead of silently running the default sweep.
 struct BenchArgs {

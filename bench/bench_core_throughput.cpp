@@ -1,0 +1,237 @@
+// Core hot-path throughput, the numbers behind the event-loop rework:
+//
+//   1. events/sec through sim::Simulator (inline callbacks, generation
+//      cancellation, flat 4-ary heap) vs an in-bench replica of the old
+//      loop (std::function + shared_ptr<bool> flags + std::priority_queue),
+//      both running the same schedule/cancel/re-arm workload;
+//   2. packets/sec across a two-node link (the stash-based delivery path);
+//   3. serial vs parallel campaign wall clock over identical cells, plus a
+//      check that both produce identical results.
+//
+// Writes BENCH_core.json to the working directory. Env knobs (CI smoke
+// passes tiny values):
+//   SC_BENCH_EVENTS         events per loop run       (default 2000000)
+//   SC_BENCH_PACKETS        packets across the link   (default 200000)
+//   SC_BENCH_SCALE_CLIENTS  campaign cell sizes       (default 5,10,15,20)
+//   SC_BENCH_THREADS        parallel workers          (default hardware)
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "bench_common.h"
+#include "measure/parallel.h"
+
+namespace {
+
+using sc::sim::Time;
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Replica of the pre-rework event loop, kept as the fixed baseline the
+// events/sec ratio is measured against: every event heap-allocates its
+// std::function state, cancellation is a shared_ptr<bool> checked at fire
+// time, and storage is std::priority_queue.
+class LegacySim {
+ public:
+  struct Handle {
+    std::shared_ptr<bool> cancelled;
+    void cancel() {
+      if (cancelled != nullptr) *cancelled = true;
+    }
+  };
+
+  Time now() const { return now_; }
+  std::uint64_t eventsExecuted() const { return executed_; }
+
+  Handle schedule(Time delay, std::function<void()> fn) {
+    auto flag = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + delay, ++seq_, flag, std::move(fn)});
+    return Handle{std::move(flag)};
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.at;
+      if (*ev.cancelled) continue;
+      ++executed_;
+      ev.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::shared_ptr<bool> cancelled;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// The simulator's hot pattern, run identically on both loops: concurrent
+// chains where each step re-arms a timeout (cancel + schedule, like a TCP
+// RTO) and schedules its successor.
+template <class Sim>
+double eventsPerSec(Sim& sim, long long target, std::uint64_t& executed) {
+  constexpr int kChains = 64;
+  using Handle = decltype(sim.schedule(Time{1}, [] {}));
+  std::vector<Handle> timeouts(kChains);
+  long long fired = 0;
+  std::function<void(int)> step = [&](int c) {
+    ++fired;
+    timeouts[static_cast<std::size_t>(c)].cancel();
+    timeouts[static_cast<std::size_t>(c)] = sim.schedule(1000, [] {});
+    if (fired + kChains <= target) sim.schedule(1, [&step, c] { step(c); });
+  };
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kChains; ++c) sim.schedule(1, [&step, c] { step(c); });
+  sim.run();
+  const double elapsed = secondsSince(start);
+  executed = sim.eventsExecuted();
+  return static_cast<double>(executed) / elapsed;
+}
+
+// Ping-pong across one link with a window of packets in flight: every
+// delivery exercises the stash + inline-closure path.
+double packetsPerSec(long long target) {
+  sc::sim::Simulator sim;
+  sc::net::Network net(sim);
+  auto& a = net.addNode("a");
+  auto& b = net.addNode("b");
+  sc::net::LinkParams params;
+  params.prop_delay = 10 * sc::sim::kMicrosecond;
+  params.bandwidth_bps = 1e12;
+  params.max_queue_delay = 3600 * sc::sim::kSecond;  // never tail-drop
+  auto& link = net.addLink(a, b, params, "wire");
+  const sc::net::Ipv4 ip_a(10, 0, 0, 1), ip_b(10, 0, 0, 2);
+  a.attach(link, ip_a);
+  b.attach(link, ip_b);
+  a.setDefaultRoute(link);
+  b.setDefaultRoute(link);
+
+  long long delivered = 0;
+  const auto bounce = [&](sc::net::Node& self, sc::net::Ipv4 self_ip,
+                          sc::net::Ipv4 peer_ip) {
+    return [&, self_ip, peer_ip](sc::net::Packet&& pkt) {
+      ++delivered;
+      if (delivered + 64 <= target) {
+        pkt.src = self_ip;
+        pkt.dst = peer_ip;
+        pkt.id = 0;  // re-originate
+        self.send(std::move(pkt));
+      }
+    };
+  };
+  a.setLocalHandler(bounce(a, ip_a, ip_b));
+  b.setLocalHandler(bounce(b, ip_b, ip_a));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < 64; ++w) {
+    a.send(sc::net::makeUdp(ip_a, ip_b, 1000, 2000,
+                            sc::Bytes(256, static_cast<std::uint8_t>(w))));
+  }
+  sim.run();
+  return static_cast<double>(delivered) / secondsSince(start);
+}
+
+bool samePoints(const std::vector<sc::measure::ScalabilityPoint>& x,
+                const std::vector<sc::measure::ScalabilityPoint>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i].clients != y[i].clients || x[i].plt_mean_s != y[i].plt_mean_s ||
+        x[i].plt_p95_s != y[i].plt_p95_s || x[i].failures != y[i].failures)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sc;
+  const long long n_events = bench::intFromEnv("SC_BENCH_EVENTS", 2000000);
+  const long long n_packets = bench::intFromEnv("SC_BENCH_PACKETS", 200000);
+  std::vector<int> cells = bench::parseIntList("SC_BENCH_SCALE_CLIENTS");
+  if (cells.empty()) cells = {5, 10, 15, 20};
+  const unsigned threads_req = bench::threadsFromEnv();
+
+  std::printf("Core throughput — event loop, link delivery, parallel sweep\n");
+
+  std::uint64_t new_executed = 0, legacy_executed = 0;
+  sim::Simulator fast;
+  const double new_eps = eventsPerSec(fast, n_events, new_executed);
+  LegacySim legacy;
+  const double legacy_eps = eventsPerSec(legacy, n_events, legacy_executed);
+  const double event_speedup = legacy_eps > 0 ? new_eps / legacy_eps : 0;
+  std::printf("  events/sec: %.3g (legacy %.3g, speedup %.2fx, %llu fired)\n",
+              new_eps, legacy_eps, event_speedup,
+              static_cast<unsigned long long>(new_executed));
+
+  const double pps = packetsPerSec(n_packets);
+  std::printf("  packets/sec: %.3g\n", pps);
+
+  measure::ScalabilityOptions sopts;
+  sopts.client_counts = cells;
+  const auto serial_start = std::chrono::steady_clock::now();
+  const auto serial =
+      measure::runScalability(measure::Method::kScholarCloud, sopts);
+  const double serial_s = secondsSince(serial_start);
+  const measure::ParallelRunner runner(threads_req);
+  const auto par_start = std::chrono::steady_clock::now();
+  const auto parallel = measure::runScalabilityParallel(
+      measure::Method::kScholarCloud, sopts, runner.threads());
+  const double parallel_s = secondsSince(par_start);
+  const bool match = samePoints(serial, parallel);
+  std::printf(
+      "  campaign: serial %.2fs, parallel %.2fs on %u threads (%.2fx), "
+      "results %s\n",
+      serial_s, parallel_s, runner.threads(),
+      parallel_s > 0 ? serial_s / parallel_s : 0, match ? "match" : "DIFFER");
+
+  std::FILE* out = std::fopen("BENCH_core.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_core.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"events\": {\"requested\": %lld, \"fired\": %llu, "
+               "\"events_per_sec\": %.6g, \"legacy_events_per_sec\": %.6g, "
+               "\"speedup\": %.6g},\n",
+               n_events, static_cast<unsigned long long>(new_executed),
+               new_eps, legacy_eps, event_speedup);
+  std::fprintf(out,
+               "  \"packets\": {\"requested\": %lld, \"packets_per_sec\": "
+               "%.6g},\n",
+               n_packets, pps);
+  std::fprintf(out, "  \"campaign\": {\"client_counts\": [");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::fprintf(out, "%s%d", i == 0 ? "" : ", ", cells[i]);
+  std::fprintf(out,
+               "], \"threads\": %u, \"serial_seconds\": %.6g, "
+               "\"parallel_seconds\": %.6g, \"speedup\": %.6g, "
+               "\"parallel_matches_serial\": %s}\n",
+               runner.threads(), serial_s, parallel_s,
+               parallel_s > 0 ? serial_s / parallel_s : 0,
+               match ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("  -> BENCH_core.json\n");
+  return match ? 0 : 1;
+}

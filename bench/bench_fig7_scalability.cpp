@@ -1,7 +1,12 @@
 // Figure 7: scalability — mean PLT as concurrent clients grow
 // {5,15,30,60,90,120,150,180} against each method's single-core server VM.
 // (The paper omits Tor here too: nobody controls the public relays.)
+//
+// SC_BENCH_SCALE_CLIENTS overrides the client counts; SC_BENCH_THREADS sets
+// the worker count for the parallel executor (results are identical for any
+// thread count, only wall clock changes).
 #include "bench_common.h"
+#include "measure/parallel.h"
 
 int main() {
   using namespace sc;
@@ -13,19 +18,9 @@ int main() {
       Method::kScholarCloud};
 
   ScalabilityOptions opts;
-  if (const char* env = std::getenv("SC_BENCH_SCALE_CLIENTS")) {
-    opts.client_counts.clear();
-    int v = 0;
-    for (const char* p = env;; ++p) {
-      if (*p >= '0' && *p <= '9') {
-        v = v * 10 + (*p - '0');
-      } else {
-        if (v > 0) opts.client_counts.push_back(v);
-        v = 0;
-        if (*p == '\0') break;
-      }
-    }
-  }
+  const std::vector<int> counts = bench::parseIntList("SC_BENCH_SCALE_CLIENTS");
+  if (!counts.empty()) opts.client_counts = counts;
+  const unsigned threads = bench::threadsFromEnv();
 
   Report report("Fig. 7: mean subsequent PLT seconds by concurrent clients",
                 [&] {
@@ -36,7 +31,7 @@ int main() {
                 }());
 
   for (const auto method : methods) {
-    const auto points = runScalability(method, opts);
+    const auto points = runScalabilityParallel(method, opts, threads);
     ReportRow row;
     row.label = methodName(method);
     for (const auto& p : points) row.values.push_back(p.plt_mean_s);

@@ -138,6 +138,7 @@ void Tunnel::sendFrame(FrameType type, std::uint32_t stream_id,
     tracer->record(std::move(ev));
   }
   Bytes frame;
+  frame.reserve(9 + payload.size());
   appendU32(frame, static_cast<std::uint32_t>(payload.size()));
   appendU32(frame, stream_id);
   appendU8(frame, static_cast<std::uint8_t>(type));

@@ -135,12 +135,44 @@ Bytes AesCfbStream::decrypt(ByteView ciphertext) {
   return out;
 }
 
+void AesCfbStream::encryptInPlace(Bytes& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (used_ == kAesBlockSize) {
+      cipher_.encryptBlock(feedback_, keystream_);
+      used_ = 0;
+    }
+    data[i] ^= keystream_[used_];
+    feedback_[used_] = data[i];  // ciphertext feeds back
+    ++used_;
+  }
+}
+
+void AesCfbStream::decryptInPlace(Bytes& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (used_ == kAesBlockSize) {
+      cipher_.encryptBlock(feedback_, keystream_);
+      used_ = 0;
+    }
+    feedback_[used_] = data[i];  // ciphertext feeds back (read before XOR)
+    data[i] ^= keystream_[used_];
+    ++used_;
+  }
+}
+
 Bytes aes256CfbEncrypt(ByteView key, ByteView iv, ByteView plaintext) {
   return AesCfbStream(key, iv).encrypt(plaintext);
 }
 
 Bytes aes256CfbDecrypt(ByteView key, ByteView iv, ByteView ciphertext) {
   return AesCfbStream(key, iv).decrypt(ciphertext);
+}
+
+void aes256CfbEncryptInPlace(ByteView key, ByteView iv, Bytes& data) {
+  AesCfbStream(key, iv).encryptInPlace(data);
+}
+
+void aes256CfbDecryptInPlace(ByteView key, ByteView iv, Bytes& data) {
+  AesCfbStream(key, iv).decryptInPlace(data);
 }
 
 }  // namespace sc::crypto

@@ -39,6 +39,12 @@ class AesCfbStream {
   Bytes encrypt(ByteView plaintext);
   Bytes decrypt(ByteView ciphertext);
 
+  // In-place variants: transform the buffer without allocating an output.
+  // CFB is a stream mode, so ciphertext can overwrite plaintext byte by
+  // byte — the VPN encap/decap hot paths use these to reuse one buffer.
+  void encryptInPlace(Bytes& data);
+  void decryptInPlace(Bytes& data);
+
  private:
   Aes256 cipher_;
   std::uint8_t feedback_[16];
@@ -49,5 +55,7 @@ class AesCfbStream {
 // One-shot helpers (fresh stream per call).
 Bytes aes256CfbEncrypt(ByteView key, ByteView iv, ByteView plaintext);
 Bytes aes256CfbDecrypt(ByteView key, ByteView iv, ByteView ciphertext);
+void aes256CfbEncryptInPlace(ByteView key, ByteView iv, Bytes& data);
+void aes256CfbDecryptInPlace(ByteView key, ByteView iv, Bytes& data);
 
 }  // namespace sc::crypto

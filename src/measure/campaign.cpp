@@ -122,83 +122,88 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
   return result;
 }
 
+ScalabilityPoint runScalabilityPoint(Method method, int n_clients,
+                                     const ScalabilityOptions& options) {
+  TestbedOptions topts;
+  topts.seed = options.seed + static_cast<std::uint64_t>(n_clients);
+  Testbed tb(topts);
+  auto& sim = tb.sim();
+
+  struct ClientState {
+    Testbed::Client* client = nullptr;
+    bool ready = false;
+    bool ok = false;
+  };
+  std::vector<ClientState> states(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    auto& st = states[static_cast<std::size_t>(i)];
+    st.client = &tb.addClient(method, 1000u + static_cast<std::uint32_t>(i),
+                              [&st](bool ok) {
+                                st.ready = true;
+                                st.ok = ok;
+                              });
+  }
+  sim.runWhile(
+      [&] {
+        for (const auto& st : states)
+          if (!st.ready) return false;
+        return true;
+      },
+      sim.now() + 5 * sim::kMinute);
+
+  Samples plt;
+  int failures = 0;
+  int completed = 0;
+  const int total_expected = n_clients * options.accesses_per_client;
+
+  // Stagger client start so arrivals are spread across the think time.
+  const sim::Time t0 = sim.now() + sim::kSecond;
+  for (int i = 0; i < n_clients; ++i) {
+    auto& st = states[static_cast<std::size_t>(i)];
+    if (!st.ok) {
+      failures += options.accesses_per_client;
+      completed += options.accesses_per_client;
+      continue;
+    }
+    const sim::Time offset =
+        options.think_time * static_cast<sim::Time>(i) /
+        std::max(1, n_clients);
+    for (int a = 0; a < options.accesses_per_client; ++a) {
+      sim.scheduleAt(
+          t0 + offset + static_cast<sim::Time>(a) * options.think_time,
+          [&, i] {
+            auto* browser = states[static_cast<std::size_t>(i)].client->browser.get();
+            browser->clearCaches();  // fresh session per access
+            browser->loadPage(
+                Testbed::kScholarHost, [&](http::PageLoadResult r) {
+                  ++completed;
+                  if (!r.ok) {
+                    ++failures;
+                    return;
+                  }
+                  plt.add(sim::toSeconds(r.plt));
+                });
+          });
+    }
+  }
+
+  const sim::Time deadline =
+      t0 +
+      static_cast<sim::Time>(options.accesses_per_client + 4) *
+          options.think_time +
+      3 * sim::kMinute;
+  sim.runWhile([&] { return completed >= total_expected; }, deadline);
+
+  const Summary s = plt.summarize();
+  return ScalabilityPoint{n_clients, s.mean, s.p95, failures};
+}
+
 std::vector<ScalabilityPoint> runScalability(Method method,
                                              ScalabilityOptions options) {
   std::vector<ScalabilityPoint> points;
+  points.reserve(options.client_counts.size());
   for (const int n_clients : options.client_counts) {
-    TestbedOptions topts;
-    topts.seed = options.seed + static_cast<std::uint64_t>(n_clients);
-    Testbed tb(topts);
-    auto& sim = tb.sim();
-
-    struct ClientState {
-      Testbed::Client* client = nullptr;
-      bool ready = false;
-      bool ok = false;
-    };
-    std::vector<ClientState> states(static_cast<std::size_t>(n_clients));
-    for (int i = 0; i < n_clients; ++i) {
-      auto& st = states[static_cast<std::size_t>(i)];
-      st.client = &tb.addClient(method, 1000u + static_cast<std::uint32_t>(i),
-                                [&st](bool ok) {
-                                  st.ready = true;
-                                  st.ok = ok;
-                                });
-    }
-    sim.runWhile(
-        [&] {
-          for (const auto& st : states)
-            if (!st.ready) return false;
-          return true;
-        },
-        sim.now() + 5 * sim::kMinute);
-
-    Samples plt;
-    int failures = 0;
-    int completed = 0;
-    const int total_expected = n_clients * options.accesses_per_client;
-
-    // Stagger client start so arrivals are spread across the think time.
-    const sim::Time t0 = sim.now() + sim::kSecond;
-    for (int i = 0; i < n_clients; ++i) {
-      auto& st = states[static_cast<std::size_t>(i)];
-      if (!st.ok) {
-        failures += options.accesses_per_client;
-        completed += options.accesses_per_client;
-        continue;
-      }
-      const sim::Time offset =
-          options.think_time * static_cast<sim::Time>(i) /
-          std::max(1, n_clients);
-      for (int a = 0; a < options.accesses_per_client; ++a) {
-        sim.scheduleAt(
-            t0 + offset + static_cast<sim::Time>(a) * options.think_time,
-            [&, i] {
-              auto* browser = states[static_cast<std::size_t>(i)].client->browser.get();
-              browser->clearCaches();  // fresh session per access
-              browser->loadPage(
-                  Testbed::kScholarHost, [&](http::PageLoadResult r) {
-                    ++completed;
-                    if (!r.ok) {
-                      ++failures;
-                      return;
-                    }
-                    plt.add(sim::toSeconds(r.plt));
-                  });
-            });
-      }
-    }
-
-    const sim::Time deadline =
-        t0 +
-        static_cast<sim::Time>(options.accesses_per_client + 4) *
-            options.think_time +
-        3 * sim::kMinute;
-    sim.runWhile([&] { return completed >= total_expected; }, deadline);
-
-    const Summary s = plt.summarize();
-    points.push_back(
-        ScalabilityPoint{n_clients, s.mean, s.p95, failures});
+    points.push_back(runScalabilityPoint(method, n_clients, options));
   }
   return points;
 }

@@ -58,6 +58,12 @@ struct ScalabilityOptions {
   std::uint64_t seed = 42;
 };
 
+// One cell of the Fig. 7 sweep: a fresh testbed running `n_clients`
+// concurrent clients. Fully determined by (method, n_clients, options.seed)
+// — the independent unit that ParallelRunner fans across workers.
+ScalabilityPoint runScalabilityPoint(Method method, int n_clients,
+                                     const ScalabilityOptions& options);
+
 // Builds a fresh testbed per point (cold caches except each client's own).
 std::vector<ScalabilityPoint> runScalability(Method method,
                                              ScalabilityOptions options = {});

@@ -84,10 +84,13 @@ void Link::scheduleDelivery(Direction dir, Packet pkt) {
   const int d = static_cast<int>(dir);
   sim::Time arrival = std::max(next_free_[d], sim.now()) + params_.prop_delay;
   if (params_.jitter > 0) arrival += sim.rng().uniformInt(0, params_.jitter);
-  Node& to = endpoint(dir);
+  Node* to = &endpoint(dir);
+  // Park the packet in the network stash: the closure carries three words,
+  // so it lives in the event record itself — no allocation per hop.
+  const std::uint32_t idx = net_.stashPacket(std::move(pkt));
   Link* self = this;
-  sim.scheduleAt(arrival, [self, &to, p = std::move(pkt)]() mutable {
-    to.deliverFromLink(std::move(p), *self);
+  sim.scheduleAt(arrival, [self, to, idx] {
+    to->deliverFromLink(self->net_.unstashPacket(idx), *self);
   });
 }
 

@@ -25,6 +25,27 @@ class Network {
   sim::Simulator& sim() noexcept { return sim_; }
   std::uint64_t nextPacketId() noexcept { return ++next_packet_id_; }
 
+  // ---- in-flight packet stash ----
+  // Packets travelling a link are parked here while their delivery event
+  // sits in the simulator queue; the event captures only {link, node, index}
+  // and therefore fits the simulator's inline closure storage (no heap
+  // allocation per hop). Slots are recycled through a free list.
+  std::uint32_t stashPacket(Packet&& pkt) {
+    if (!stash_free_.empty()) {
+      const std::uint32_t idx = stash_free_.back();
+      stash_free_.pop_back();
+      stash_[idx] = std::move(pkt);
+      return idx;
+    }
+    stash_.push_back(std::move(pkt));
+    return static_cast<std::uint32_t>(stash_.size() - 1);
+  }
+  Packet unstashPacket(std::uint32_t idx) {
+    Packet pkt = std::move(stash_[idx]);
+    stash_free_.push_back(idx);
+    return pkt;
+  }
+
   // ---- measurement accounting (keyed by Packet::measure_tag) ----
   struct TagStats {
     std::uint64_t originated = 0;      // packets entering the network
@@ -66,6 +87,8 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t next_packet_id_ = 0;
+  std::vector<Packet> stash_;
+  std::vector<std::uint32_t> stash_free_;
   std::unordered_map<std::uint32_t, TagStats> tag_stats_;
   std::uint64_t total_originated_ = 0;
 

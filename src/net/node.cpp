@@ -57,10 +57,13 @@ void Node::send(Packet pkt) {
   }
   if (hasIp(pkt.dst)) {
     // Loopback delivery (e.g. a local proxy on the same host). Stays off the
-    // wire, so it doesn't enter the loss accounting either.
+    // wire, so it doesn't enter the loss accounting either. Stashed like a
+    // link hop so the closure stays inline in the event record.
     auto& sim = net_.sim();
     Node* self = this;
-    sim.schedule(50, [self, p = std::move(pkt)]() mutable {
+    const std::uint32_t idx = net_.stashPacket(std::move(pkt));
+    sim.schedule(50, [self, idx] {
+      Packet p = self->net_.unstashPacket(idx);
       if (self->local_handler_) self->local_handler_(std::move(p));
     });
     return;

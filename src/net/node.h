@@ -64,6 +64,8 @@ class Node {
   void setLocalHandler(LocalHandler h) { local_handler_ = std::move(h); }
 
   // Returns true when the hook consumed the packet (e.g. VPN encapsulation).
+  // A consuming hook takes ownership and may move out of `pkt`; returning
+  // false must leave the packet untouched (it continues through routing).
   using EgressHook = std::function<bool(Packet&)>;
   void setEgressHook(EgressHook h) { egress_hook_ = std::move(h); }
   void clearEgressHook() { egress_hook_ = nullptr; }

@@ -107,6 +107,13 @@ constexpr std::uint8_t kMagic = 0xC4;  // format marker for serialized packets
 
 Bytes serializePacket(const Packet& pkt) {
   Bytes out;
+  serializePacketInto(pkt, out);
+  return out;
+}
+
+void serializePacketInto(const Packet& pkt, Bytes& out) {
+  out.clear();
+  out.reserve(26 + pkt.payload.size());  // worst-case header is 26 bytes
   appendU8(out, kMagic);
   appendU32(out, pkt.src.v);
   appendU32(out, pkt.dst.v);
@@ -139,19 +146,20 @@ Bytes serializePacket(const Packet& pkt) {
   }
   appendU32(out, static_cast<std::uint32_t>(pkt.payload.size()));
   appendBytes(out, pkt.payload);
-  return out;
 }
 
-std::optional<Packet> parsePacket(ByteView data) {
-  std::size_t off = 0;
+namespace {
+// Parses everything up to (and including) the payload length field. On
+// success `off` points at the first payload byte and `len` holds its size.
+bool parseHeaders(ByteView data, std::size_t& off, Packet& p,
+                  std::uint32_t& len) {
   std::uint8_t magic = 0;
-  if (!readU8(data, off, magic) || magic != kMagic) return std::nullopt;
-  Packet p;
+  if (!readU8(data, off, magic) || magic != kMagic) return false;
   std::uint32_t src = 0, dst = 0;
   std::uint8_t proto = 0;
   if (!readU32(data, off, src) || !readU32(data, off, dst) ||
       !readU8(data, off, p.ttl) || !readU8(data, off, proto))
-    return std::nullopt;
+    return false;
   p.src = Ipv4(src);
   p.dst = Ipv4(dst);
   p.proto = static_cast<IpProto>(proto);
@@ -162,7 +170,7 @@ std::optional<Packet> parsePacket(ByteView data) {
       if (!readU16(data, off, t.src_port) || !readU16(data, off, t.dst_port) ||
           !readU32(data, off, t.seq) || !readU32(data, off, t.ack) ||
           !readU8(data, off, fl) || !readU16(data, off, t.window))
-        return std::nullopt;
+        return false;
       t.flags.syn = fl & 1;
       t.flags.ack = fl & 2;
       t.flags.fin = fl & 4;
@@ -174,30 +182,54 @@ std::optional<Packet> parsePacket(ByteView data) {
     case IpProto::kUdp: {
       UdpDgram u;
       if (!readU16(data, off, u.src_port) || !readU16(data, off, u.dst_port))
-        return std::nullopt;
+        return false;
       p.l4 = u;
       break;
     }
     case IpProto::kGre: {
       GreFrame g;
       if (!readU16(data, off, g.protocol) || !readU32(data, off, g.call_id))
-        return std::nullopt;
+        return false;
       p.l4 = g;
       break;
     }
     case IpProto::kEsp: {
       EspFrame e;
       if (!readU32(data, off, e.spi) || !readU32(data, off, e.seq))
-        return std::nullopt;
+        return false;
       p.l4 = e;
       break;
     }
     default:
-      return std::nullopt;
+      return false;
   }
+  if (!readU32(data, off, len)) return false;
+  return data.size() - off >= len;
+}
+}  // namespace
+
+std::optional<Packet> parsePacket(ByteView data) {
+  std::size_t off = 0;
   std::uint32_t len = 0;
-  if (!readU32(data, off, len)) return std::nullopt;
+  Packet p;
+  if (!parseHeaders(data, off, p, len)) return std::nullopt;
   if (!readBytes(data, off, len, p.payload)) return std::nullopt;
+  return p;
+}
+
+std::optional<Packet> parsePacket(Bytes&& data) {
+  std::size_t off = 0;
+  std::uint32_t len = 0;
+  Packet p;
+  if (!parseHeaders(data, off, p, len)) return std::nullopt;
+  if (off + len == data.size()) {
+    // Steal the buffer: memmove the payload to the front instead of
+    // allocating a copy (the common case — frames carry exactly one packet).
+    data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(off));
+    p.payload = std::move(data);
+  } else {
+    if (!readBytes(data, off, len, p.payload)) return std::nullopt;
+  }
   return p;
 }
 

@@ -116,7 +116,14 @@ Packet makeGre(Ipv4 src, Ipv4 dst, std::uint32_t call_id, Bytes payload);
 // whole inner packets inside GRE/ESP payloads. The format is a compact
 // binary encoding (not RFC 791 bit-exact, but lossless and parseable by DPI).
 Bytes serializePacket(const Packet& pkt);
+// Appends nothing — clears `out` and serializes into it, reusing whatever
+// capacity the buffer already has (encap hot path: one scratch per tunnel).
+void serializePacketInto(const Packet& pkt, Bytes& out);
 std::optional<Packet> parsePacket(ByteView data);
+// Consuming overload: the parsed payload steals `data`'s buffer (the header
+// prefix is memmoved away) instead of copying the bytes out — the decap hot
+// path hands the decrypted buffer straight through.
+std::optional<Packet> parsePacket(Bytes&& data);
 
 }  // namespace sc::net
 

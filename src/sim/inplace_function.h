@@ -1,0 +1,120 @@
+// Small-buffer-optimized, move-only callable — the event body type of the
+// simulator's hot path.
+//
+// Why not std::function: (a) std::function requires copy-constructible
+// callables, so every scheduled closure must be copyable even though the
+// queue only ever moves it; (b) typical implementations inline only ~16-24
+// bytes of capture, so a closure holding a couple of pointers plus a Time
+// already heap-allocates. Scheduling is the single hottest operation in the
+// whole system (every packet hop, TCP timer and browser tick goes through
+// it), so InplaceFunction inlines kInlineCallableBytes (64) bytes of capture
+// — enough for every timer/delivery closure in the codebase — and falls back
+// to one heap allocation only for oversized captures (which std::function
+// would also pay, plus the cancellation flag allocation the simulator no
+// longer needs).
+//
+// Move-only on purpose: closures may own Packets/Bytes; moving them through
+// the queue must never silently deep-copy a payload.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sc::sim {
+
+inline constexpr std::size_t kInlineCallableBytes = 64;
+
+template <typename Signature, std::size_t Capacity = kInlineCallableBytes>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {  // move-construct dst from src, destroy src
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        } else {
+          static_cast<Fn*>(dst)->~Fn();
+        }
+      };
+    } else {
+      // Oversized capture: one heap allocation, pointer stored inline.
+      ::new (static_cast<void*>(buf_))
+          Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p, Args&&... args) -> R {
+        return (**static_cast<Fn**>(p))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+          *static_cast<Fn**>(src) = nullptr;
+        } else {
+          delete *static_cast<Fn**>(dst);
+        }
+      };
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { moveFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  void moveFrom(InplaceFunction& other) noexcept {
+    if (other.manage_ != nullptr) other.manage_(buf_, other.buf_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  // manage(dst, src): src != null -> move src into dst and destroy src;
+  // src == null -> destroy dst. One pointer covers both operations.
+  void (*manage_)(void*, void*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace sc::sim

@@ -2,7 +2,7 @@
 
 #include <cassert>
 #include <chrono>
-#include <memory>
+#include <utility>
 
 namespace sc::sim {
 
@@ -24,46 +24,148 @@ class WallTimer {
   double& total_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// Only compact heaps past this size: tiny heaps are cheap to drain lazily
+// and compacting them would churn for no measurable win.
+constexpr std::size_t kCompactMinEntries = 64;
 }  // namespace
 
 void EventHandle::cancel() {
-  if (alive_) *alive_ = false;
+  if (sim_ != nullptr) sim_->cancelEvent(slot_, gen_);
 }
 
-bool EventHandle::active() const { return alive_ && *alive_; }
+bool EventHandle::active() const {
+  return sim_ != nullptr && sim_->isLive(slot_, gen_);
+}
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
+EventHandle Simulator::schedule(Time delay, EventFn fn) {
   assert(delay >= 0);
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::scheduleAt(Time at, std::function<void()> fn) {
+EventHandle Simulator::scheduleAt(Time at, EventFn fn) {
   assert(at >= now_);
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
-  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
-  return EventHandle(std::move(alive));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(0);
+  }
+  const std::uint32_t gen = slot_gen_[slot];
+  heap_.push_back(Event{at, next_seq_++, slot, gen, std::move(fn)});
+  siftUp(heap_.size() - 1);
+  ++live_events_;
+  if (live_events_ > max_queue_depth_) max_queue_depth_ = live_events_;
+  return EventHandle(this, slot, gen);
 }
 
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately and never re-compare the moved-from element.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+// ---- 4-ary heap primitives -------------------------------------------------
+
+void Simulator::siftUp(std::size_t i) {
+  Event ev = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(ev, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+}
+
+void Simulator::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Event ev = std::move(heap_[i]);
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], ev)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(ev);
+}
+
+void Simulator::rebuildHeap() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) siftDown(i);
+}
+
+void Simulator::discardTop() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+}
+
+// ---- cancellation ----------------------------------------------------------
+
+void Simulator::cancelEvent(std::uint32_t slot, std::uint32_t gen) {
+  if (!isLive(slot, gen)) return;  // fired, already cancelled, or bogus
+  ++slot_gen_[slot];               // every outstanding handle goes stale
+  --live_events_;
+  ++cancelled_in_heap_;
+  // The dead entry stays in the heap and is skipped when it surfaces —
+  // unless the dead fraction passes 1/2, in which case one O(n) sweep
+  // reclaims the memory (and the slots) immediately.
+  if (cancelled_in_heap_ > heap_.size() / 2 && heap_.size() >= kCompactMinEntries)
+    compact();
+}
+
+void Simulator::compact() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (isLive(heap_[i].slot, heap_[i].gen)) {
+      if (kept != i) heap_[kept] = std::move(heap_[i]);
+      ++kept;
+    } else {
+      free_slots_.push_back(heap_[i].slot);
+    }
+  }
+  heap_.resize(kept);
+  cancelled_in_heap_ = 0;
+  rebuildHeap();
+  ++compactions_;
+}
+
+// ---- run loop --------------------------------------------------------------
+
+bool Simulator::settleTop() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (isLive(top.slot, top.gen)) return true;
+    free_slots_.push_back(top.slot);
+    --cancelled_in_heap_;
+    discardTop();
+  }
+  return false;
+}
+
+void Simulator::fireTop() {
+  // Move the whole event out before invoking: the body may schedule (grow
+  // the heap) or cancel (compact it), so no reference into heap_ survives.
+  Event ev = std::move(heap_.front());
+  discardTop();
   now_ = ev.at;
+  ++slot_gen_[ev.slot];  // fired: handles to this event go inactive NOW
+  free_slots_.push_back(ev.slot);
+  --live_events_;
   ++events_executed_;
-  if (*ev.alive) ev.fn();
-  return true;
+  ev.fn();
 }
 
 std::size_t Simulator::run(Time deadline) {
   WallTimer timer(wall_seconds_);
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    step();
+  while (settleTop() && heap_.front().at <= deadline) {
+    fireTop();
     ++n;
   }
   return n;
@@ -78,8 +180,8 @@ std::size_t Simulator::runUntil(Time deadline) {
 bool Simulator::runWhile(const std::function<bool()>& done, Time deadline) {
   WallTimer timer(wall_seconds_);
   if (done()) return true;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    step();
+  while (settleTop() && heap_.front().at <= deadline) {
+    fireTop();
     if (done()) return true;
   }
   return false;

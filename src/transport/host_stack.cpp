@@ -2,7 +2,7 @@
 
 namespace sc::transport {
 
-void CpuQueue::submit(double cycles, std::function<void()> done) {
+void CpuQueue::submit(double cycles, sim::EventFn done) {
   const sim::Time now = sim_.now();
   const auto service =
       static_cast<sim::Time>(cycles / speed_hz_ * sim::kSecond);
@@ -94,7 +94,7 @@ void HostStack::onPacket(net::Packet&& pkt) {
     const net::Port dport = pkt.dstPort();
     for (const auto& capture : captures_) {
       if (dport >= capture.lo && dport < capture.hi) {
-        capture.handler(pkt);
+        capture.handler(std::move(pkt));
         return;
       }
     }
@@ -113,7 +113,7 @@ void HostStack::onPacket(net::Packet&& pkt) {
     }
     default: {
       const auto it = raw_handlers_.find(pkt.proto);
-      if (it != raw_handlers_.end()) it->second(pkt);
+      if (it != raw_handlers_.end()) it->second(std::move(pkt));
       return;
     }
   }

@@ -20,7 +20,7 @@ class CpuQueue {
   CpuQueue(sim::Simulator& sim, double speed_hz) : sim_(sim), speed_hz_(speed_hz) {}
 
   // Schedules `done` after `cycles` of CPU work, FIFO behind earlier work.
-  void submit(double cycles, std::function<void()> done);
+  void submit(double cycles, sim::EventFn done);
 
   double utilization(sim::Time window_start, sim::Time now) const;
   sim::Time busyUntil() const noexcept { return busy_until_; }
@@ -60,7 +60,9 @@ class HostStack {
                std::uint32_t measure_tag = 0);
 
   // ---- raw IP protocols (VPN data planes) ----
-  using RawHandler = std::function<void(const net::Packet&)>;
+  // Handlers own the packet: decapsulation mutates payloads in place
+  // instead of copying them (the VPN data planes are per-packet hot paths).
+  using RawHandler = std::function<void(net::Packet&&)>;
   void setRawHandler(net::IpProto proto, RawHandler handler);
 
   // ---- NAT port capture (VPN servers) ----

@@ -9,26 +9,30 @@ constexpr std::uint8_t kIkeInit = 1;   // client hello + nonce
 constexpr std::uint8_t kIkeReply = 2;  // spi + inner ip + dns
 constexpr std::uint8_t kHello = 3;     // L2TP HELLO keepalive
 
-Bytes espEncrypt(const Bytes& key, std::uint32_t spi, std::uint32_t seq,
-                 const net::Packet& inner) {
+Bytes espIv(std::uint32_t spi, std::uint32_t seq) {
   Bytes iv(16, 0);
   for (int i = 0; i < 4; ++i) {
     iv[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(spi >> (8 * i));
     iv[static_cast<std::size_t>(4 + i)] =
         static_cast<std::uint8_t>(seq >> (8 * i));
   }
-  return crypto::aes256CfbEncrypt(key, iv, net::serializePacket(inner));
+  return iv;
 }
 
+// Serializes `inner` directly into `out` and encrypts it in place: one
+// buffer for the whole encap instead of serialize + encrypt temporaries.
+void espEncryptInto(const Bytes& key, std::uint32_t spi, std::uint32_t seq,
+                    const net::Packet& inner, Bytes& out) {
+  net::serializePacketInto(inner, out);
+  crypto::aes256CfbEncryptInPlace(key, espIv(spi, seq), out);
+}
+
+// Consumes the ESP payload: decrypts in place, then the parsed inner packet
+// steals the buffer for its own payload.
 std::optional<net::Packet> espDecrypt(const Bytes& key, std::uint32_t spi,
-                                      std::uint32_t seq, ByteView payload) {
-  Bytes iv(16, 0);
-  for (int i = 0; i < 4; ++i) {
-    iv[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(spi >> (8 * i));
-    iv[static_cast<std::size_t>(4 + i)] =
-        static_cast<std::uint8_t>(seq >> (8 * i));
-  }
-  return net::parsePacket(crypto::aes256CfbDecrypt(key, iv, payload));
+                                      std::uint32_t seq, Bytes&& payload) {
+  crypto::aes256CfbDecryptInPlace(key, espIv(spi, seq), payload);
+  return net::parsePacket(std::move(payload));
 }
 }  // namespace
 
@@ -40,8 +44,9 @@ L2tpServer::L2tpServer(transport::HostStack& stack, L2tpServerOptions options)
                  [this](net::Endpoint from, ByteView data, std::uint32_t tag) {
                    onControl(from, data, tag);
                  });
-  stack_.setRawHandler(net::IpProto::kEsp,
-                       [this](const net::Packet& pkt) { onEsp(pkt); });
+  stack_.setRawHandler(net::IpProto::kEsp, [this](net::Packet&& pkt) {
+    onEsp(std::move(pkt));
+  });
   nat_.setReturnPath([this](std::uint64_t session_id, net::Packet&& inner) {
     const auto it = sessions_.find(static_cast<std::uint32_t>(session_id));
     if (it == sessions_.end()) return;
@@ -52,7 +57,7 @@ L2tpServer::L2tpServer(transport::HostStack& stack, L2tpServerOptions options)
     outer.proto = net::IpProto::kEsp;
     const std::uint32_t seq = ++tx_seq_;
     outer.l4 = net::EspFrame{s.spi, seq};
-    outer.payload = espEncrypt(s.key, s.spi, seq, inner);
+    espEncryptInto(s.key, s.spi, seq, inner, outer.payload);
     outer.measure_tag = inner.measure_tag;
     stack_.node().send(std::move(outer));
   });
@@ -85,11 +90,12 @@ void L2tpServer::onControl(net::Endpoint from, ByteView data,
   stack_.udpSend(kL2tpControlPort, from, std::move(reply), tag);
 }
 
-void L2tpServer::onEsp(const net::Packet& pkt) {
+void L2tpServer::onEsp(net::Packet&& pkt) {
   const auto& esp = std::get<net::EspFrame>(pkt.l4);
   const auto it = sessions_.find(esp.spi);
   if (it == sessions_.end()) return;
-  auto inner = espDecrypt(it->second.key, esp.spi, esp.seq, pkt.payload);
+  auto inner =
+      espDecrypt(it->second.key, esp.spi, esp.seq, std::move(pkt.payload));
   if (!inner.has_value()) return;
   inner->measure_tag = pkt.measure_tag;
   ++forwarded_;
@@ -133,8 +139,9 @@ void L2tpClient::connect(ConnectCb cb) {
     appendU32(salt, spi);
     session_key_cache_ = crypto::deriveKey(psk_, toString(salt), 32);
 
-    stack_.setRawHandler(net::IpProto::kEsp,
-                         [this](const net::Packet& pkt) { onEsp(pkt); });
+    stack_.setRawHandler(net::IpProto::kEsp, [this](net::Packet&& pkt) {
+      onEsp(std::move(pkt));
+    });
     const net::Endpoint server = server_;
     const net::Port cport = control_port_;
     tun_ = std::make_unique<TunDevice>(
@@ -189,15 +196,16 @@ void L2tpClient::encapsulate(net::Packet&& inner) {
   outer.proto = net::IpProto::kEsp;
   const std::uint32_t seq = ++esp_seq_;
   outer.l4 = net::EspFrame{spi_, seq};
-  outer.payload = espEncrypt(session_key_cache_, spi_, seq, inner);
+  espEncryptInto(session_key_cache_, spi_, seq, inner, outer.payload);
   outer.measure_tag = inner.measure_tag != 0 ? inner.measure_tag : tag_;
   stack_.node().send(std::move(outer));
 }
 
-void L2tpClient::onEsp(const net::Packet& pkt) {
+void L2tpClient::onEsp(net::Packet&& pkt) {
   const auto& esp = std::get<net::EspFrame>(pkt.l4);
   if (tun_ == nullptr || esp.spi != spi_) return;
-  auto inner = espDecrypt(session_key_cache_, esp.spi, esp.seq, pkt.payload);
+  auto inner =
+      espDecrypt(session_key_cache_, esp.spi, esp.seq, std::move(pkt.payload));
   if (!inner.has_value()) return;
   inner->measure_tag = pkt.measure_tag;
   tun_->injectInbound(std::move(*inner));

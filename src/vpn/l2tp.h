@@ -42,7 +42,7 @@ class L2tpServer {
   };
 
   void onControl(net::Endpoint from, ByteView data, std::uint32_t tag);
-  void onEsp(const net::Packet& pkt);
+  void onEsp(net::Packet&& pkt);
 
   transport::HostStack& stack_;
   L2tpServerOptions options_;
@@ -71,7 +71,7 @@ class L2tpClient {
 
  private:
   void encapsulate(net::Packet&& inner);
-  void onEsp(const net::Packet& pkt);
+  void onEsp(net::Packet&& pkt);
   void sendKeepalive();
   Bytes sessionKey() const;
 

@@ -24,8 +24,9 @@ PptpServer::PptpServer(transport::HostStack& stack, PptpServerOptions options)
                                [this](transport::TcpSocket::Ptr sock) {
                                  onControlStream(std::move(sock));
                                });
-  stack_.setRawHandler(net::IpProto::kGre,
-                       [this](const net::Packet& pkt) { onGre(pkt); });
+  stack_.setRawHandler(net::IpProto::kGre, [this](net::Packet&& pkt) {
+    onGre(std::move(pkt));
+  });
   nat_.setReturnPath([this](std::uint64_t session_id, net::Packet&& inner) {
     const auto it = sessions_.find(static_cast<std::uint32_t>(session_id));
     if (it == sessions_.end()) return;
@@ -73,10 +74,12 @@ void PptpServer::onControlStream(transport::TcpSocket::Ptr sock) {
   });
 }
 
-void PptpServer::onGre(const net::Packet& pkt) {
+void PptpServer::onGre(net::Packet&& pkt) {
   const auto it = sessions_.find(pkt.gre().call_id);
   if (it == sessions_.end()) return;
-  auto inner = net::parsePacket(pkt.payload);
+  // The consuming parse only steals the buffer on success; on failure the
+  // payload is still intact for the keepalive check below.
+  auto inner = net::parsePacket(std::move(pkt.payload));
   if (!inner.has_value()) {
     // LCP echo keepalive: answer in kind.
     if (toString(pkt.payload) == "LCP-ECHO") {
@@ -140,8 +143,9 @@ void PptpClient::connect(ConnectCb cb) {
       call_id_ = call_id;
       advertised_dns_ = net::Ipv4(dns);
 
-      stack_.setRawHandler(net::IpProto::kGre,
-                           [this](const net::Packet& pkt) { onGre(pkt); });
+      stack_.setRawHandler(net::IpProto::kGre, [this](net::Packet&& pkt) {
+        onGre(std::move(pkt));
+      });
       const net::Endpoint server = server_;
       tun_ = std::make_unique<TunDevice>(
           stack_.node(), net::Ipv4(inner),
@@ -191,9 +195,9 @@ void PptpClient::encapsulate(net::Packet&& inner) {
   stack_.node().send(std::move(outer));
 }
 
-void PptpClient::onGre(const net::Packet& pkt) {
+void PptpClient::onGre(net::Packet&& pkt) {
   if (tun_ == nullptr || pkt.gre().call_id != call_id_) return;
-  auto inner = net::parsePacket(pkt.payload);
+  auto inner = net::parsePacket(std::move(pkt.payload));
   if (!inner.has_value()) return;
   inner->measure_tag = pkt.measure_tag;
   tun_->injectInbound(std::move(*inner));

@@ -42,7 +42,7 @@ class PptpServer {
   };
 
   void onControlStream(transport::TcpSocket::Ptr sock);
-  void onGre(const net::Packet& pkt);
+  void onGre(net::Packet&& pkt);
 
   transport::HostStack& stack_;
   PptpServerOptions options_;
@@ -74,7 +74,7 @@ class PptpClient {
 
  private:
   void encapsulate(net::Packet&& inner);
-  void onGre(const net::Packet& pkt);
+  void onGre(net::Packet&& pkt);
 
   void sendKeepalive();
 

@@ -13,7 +13,9 @@ TunDevice::TunDevice(net::Node& node, net::Ipv4 inner_ip, EncapFn encap,
   node_.setEgressHook([this](net::Packet& pkt) {
     if (bypass_ && bypass_(pkt)) return false;
     ++captured_;
-    encap_(net::Packet(pkt));
+    // Consuming the packet (returning true) transfers ownership: move it
+    // into the tunnel instead of copying the payload.
+    encap_(std::move(pkt));
     return true;
   });
 }
@@ -50,8 +52,8 @@ VpnNat::VpnNat(transport::HostStack& stack, net::Port lo, net::Port hi,
       cycles_per_packet_(cycles_per_packet),
       cycles_per_byte_(cycles_per_byte),
       next_(lo) {
-  stack_.setPortCapture(lo_, hi_,
-                        [this](const net::Packet& pkt) { onCaptured(pkt); });
+  stack_.setPortCapture(
+      lo_, hi_, [this](net::Packet&& pkt) { onCaptured(std::move(pkt)); });
 }
 
 VpnNat::~VpnNat() { stack_.clearPortCapture(lo_, hi_); }
@@ -103,16 +105,15 @@ void VpnNat::forwardOutbound(net::Packet inner, std::uint64_t session_id) {
   });
 }
 
-void VpnNat::onCaptured(const net::Packet& pkt) {
+void VpnNat::onCaptured(net::Packet&& pkt) {
   const auto it = by_nat_port_.find(pkt.dstPort());
   if (it == by_nat_port_.end()) return;
   const Mapping& m = it->second;
-  net::Packet inner = pkt;
-  inner.dst = m.inner_ip;
-  setPort(inner, /*src_side=*/false, m.inner_port);
+  pkt.dst = m.inner_ip;
+  setPort(pkt, /*src_side=*/false, m.inner_port);
   const double cycles =
-      cycles_per_packet_ + cycles_per_byte_ * static_cast<double>(inner.payload.size());
-  stack_.cpu().submit(cycles, [this, m, inner = std::move(inner)]() mutable {
+      cycles_per_packet_ + cycles_per_byte_ * static_cast<double>(pkt.payload.size());
+  stack_.cpu().submit(cycles, [this, m, inner = std::move(pkt)]() mutable {
     if (return_fn_) return_fn_(m.session_id, std::move(inner));
   });
 }

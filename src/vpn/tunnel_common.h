@@ -68,7 +68,7 @@ class VpnNat {
   std::size_t activeMappings() const noexcept { return by_nat_port_.size(); }
 
  private:
-  void onCaptured(const net::Packet& pkt);
+  void onCaptured(net::Packet&& pkt);
   void setPort(net::Packet& pkt, bool src_side, net::Port port);
 
   struct Mapping {

@@ -68,7 +68,7 @@ TEST(Packet, SerializeParseRoundTripUdpGreEsp) {
 
 TEST(Packet, ParseRejectsGarbage) {
   EXPECT_FALSE(parsePacket(toBytes("not a packet")).has_value());
-  EXPECT_FALSE(parsePacket({}).has_value());
+  EXPECT_FALSE(parsePacket(ByteView{}).has_value());
   // Truncated serialization.
   Packet p = makeUdp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, Bytes(100));
   Bytes wire = serializePacket(p);

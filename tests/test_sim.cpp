@@ -172,5 +172,125 @@ TEST(Simulator, RunWhileStopsAtPredicate) {
   EXPECT_FALSE(sim.runWhile([&] { return count >= 100; }, kSecond));
 }
 
+TEST(Simulator, DefaultHandleIsInactiveAndCancelIsNoop) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // must be safe
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulator, FiredHandleIsInactiveAndCancelIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // stale cancel after firing must not touch anything
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  int fired = 0;
+  auto old = sim.schedule(10, [&] { ++fired; });
+  sim.run();
+  // The new event may reuse the fired event's slot; the old handle's stale
+  // generation must not reach it.
+  auto fresh = sim.schedule(10, [&] { ++fired; });
+  old.cancel();
+  EXPECT_TRUE(fresh.active());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PendingEventsCountsLiveOnly) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 6; ++i)
+    handles.push_back(sim.schedule(100 + i, [] {}));
+  EXPECT_EQ(sim.pendingEvents(), 6u);
+  handles[1].cancel();
+  handles[4].cancel();
+  EXPECT_EQ(sim.pendingEvents(), 4u);
+  // The lazily-cancelled entries still occupy the heap until popped.
+  EXPECT_EQ(sim.queuedEntries(), 6u);
+  sim.run();
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_EQ(sim.queuedEntries(), 0u);
+}
+
+TEST(Simulator, MaxQueueDepthTracksLiveHighWater) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i)
+    handles.push_back(sim.schedule(100 + i, [] {}));
+  for (int i = 0; i < 5; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  // Refill: live count returns to 10, so the high-water must stay 10 even
+  // though 15 entries passed through the heap.
+  for (int i = 0; i < 5; ++i) sim.schedule(200 + i, [] {});
+  EXPECT_EQ(sim.maxQueueDepth(), 10u);
+  sim.run();
+  EXPECT_EQ(sim.maxQueueDepth(), 10u);
+}
+
+TEST(Simulator, CompactionRunsWhenMostlyCancelled) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(sim.schedule(1000 + i, [] {}));
+  for (int i = 0; i < 70; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_GE(sim.compactions(), 1u);
+  EXPECT_EQ(sim.pendingEvents(), 30u);
+  // Compaction dropped the dead majority: the heap shrank well below the
+  // 100 entries that were scheduled, and dead entries are a minority again.
+  EXPECT_LT(sim.queuedEntries(), 70u);
+  EXPECT_LE(sim.queuedEntries() - sim.pendingEvents(),
+            sim.queuedEntries() / 2);
+}
+
+TEST(Simulator, CompactionPreservesOrderAndTieBreaking) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  // Interleave 40 equal-time survivors with 60 cancelled events so that the
+  // cancellations trigger a compaction (heap rebuild), then check the
+  // survivors still fire in schedule order.
+  for (int i = 0; i < 100; ++i) {
+    if (i % 5 != 0) {
+      doomed.push_back(sim.schedule(500, [] {}));
+    } else {
+      sim.schedule(500, [&order, i] { order.push_back(i); });
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  EXPECT_GE(sim.compactions(), 1u);
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 100; i += 5) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, OversizedCapturesFallBackToHeap) {
+  Simulator sim;
+  // A capture larger than the inline storage must still work (heap path).
+  std::array<char, 200> big{};
+  big[0] = 7;
+  big[199] = 9;
+  int sum = 0;
+  sim.schedule(10, [big, &sum] { sum = big[0] + big[199]; });
+  sim.run();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(Simulator, CancelInsideEventAffectsLaterEvent) {
+  Simulator sim;
+  int fired = 0;
+  auto victim = sim.schedule(20, [&] { ++fired; });
+  sim.schedule(10, [&] { victim.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
 }  // namespace
 }  // namespace sc::sim
