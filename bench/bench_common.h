@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "measure/campaign.h"
@@ -101,6 +102,95 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
   }
   return args;
 }
+
+// Streaming writer for the BENCH_*.json artifacts: nested objects/arrays
+// with automatic comma placement and two-space indentation. Numbers go
+// through %.6g / %lld so dumps are byte-stable across runs; strings are
+// emitted verbatim (keys and values here never need escaping).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  JsonWriter& beginObject(const char* key = nullptr) {
+    open(key, '{');
+    return *this;
+  }
+  JsonWriter& endObject() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& beginArray(const char* key = nullptr) {
+    open(key, '[');
+    return *this;
+  }
+  JsonWriter& endArray() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& field(const char* key, double v) {
+    prefix(key);
+    std::fprintf(out_, "%.6g", v);
+    return *this;
+  }
+  JsonWriter& field(const char* key, bool v) {
+    prefix(key);
+    std::fputs(v ? "true" : "false", out_);
+    return *this;
+  }
+  JsonWriter& field(const char* key, const char* v) {
+    prefix(key);
+    std::fprintf(out_, "\"%s\"", v);
+    return *this;
+  }
+  JsonWriter& field(const char* key, const std::string& v) {
+    return field(key, v.c_str());
+  }
+  template <class T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(const char* key, T v) {
+    prefix(key);
+    if constexpr (std::is_signed_v<T>)
+      std::fprintf(out_, "%lld", static_cast<long long>(v));
+    else
+      std::fprintf(out_, "%llu", static_cast<unsigned long long>(v));
+    return *this;
+  }
+  // Array elements (no key).
+  template <class T>
+  JsonWriter& element(T v) {
+    return field(nullptr, v);
+  }
+
+ private:
+  void prefix(const char* key) {
+    if (!first_.empty()) {
+      std::fputs(first_.back() ? "\n" : ",\n", out_);
+      first_.back() = false;
+      for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", out_);
+    }
+    if (key != nullptr) std::fprintf(out_, "\"%s\": ", key);
+  }
+  void open(const char* key, char bracket) {
+    prefix(key);
+    std::fputc(bracket, out_);
+    first_.push_back(true);
+  }
+  void close(char bracket) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      std::fputc('\n', out_);
+      for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", out_);
+    }
+    std::fputc(bracket, out_);
+    if (first_.empty()) std::fputc('\n', out_);
+  }
+
+  std::FILE* out_;
+  std::vector<bool> first_;
+};
 
 // The five methods of Fig. 2/5/6, in the paper's presentation order.
 inline const std::vector<measure::Method>& paperMethods() {

@@ -209,28 +209,30 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_core.json\n");
     return 1;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out,
-               "  \"events\": {\"requested\": %lld, \"fired\": %llu, "
-               "\"events_per_sec\": %.6g, \"legacy_events_per_sec\": %.6g, "
-               "\"speedup\": %.6g},\n",
-               n_events, static_cast<unsigned long long>(new_executed),
-               new_eps, legacy_eps, event_speedup);
-  std::fprintf(out,
-               "  \"packets\": {\"requested\": %lld, \"packets_per_sec\": "
-               "%.6g},\n",
-               n_packets, pps);
-  std::fprintf(out, "  \"campaign\": {\"client_counts\": [");
-  for (std::size_t i = 0; i < cells.size(); ++i)
-    std::fprintf(out, "%s%d", i == 0 ? "" : ", ", cells[i]);
-  std::fprintf(out,
-               "], \"threads\": %u, \"serial_seconds\": %.6g, "
-               "\"parallel_seconds\": %.6g, \"speedup\": %.6g, "
-               "\"parallel_matches_serial\": %s}\n",
-               runner.threads(), serial_s, parallel_s,
-               parallel_s > 0 ? serial_s / parallel_s : 0,
-               match ? "true" : "false");
-  std::fprintf(out, "}\n");
+  bench::JsonWriter jw(out);
+  jw.beginObject();
+  jw.beginObject("events")
+      .field("requested", n_events)
+      .field("fired", new_executed)
+      .field("events_per_sec", new_eps)
+      .field("legacy_events_per_sec", legacy_eps)
+      .field("speedup", event_speedup)
+      .endObject();
+  jw.beginObject("packets")
+      .field("requested", n_packets)
+      .field("packets_per_sec", pps)
+      .endObject();
+  jw.beginObject("campaign");
+  jw.beginArray("client_counts");
+  for (const int c : cells) jw.element(c);
+  jw.endArray();
+  jw.field("threads", runner.threads())
+      .field("serial_seconds", serial_s)
+      .field("parallel_seconds", parallel_s)
+      .field("speedup", parallel_s > 0 ? serial_s / parallel_s : 0)
+      .field("parallel_matches_serial", match)
+      .endObject();
+  jw.endObject();
   std::fclose(out);
   std::printf("  -> BENCH_core.json\n");
   return match ? 0 : 1;

@@ -10,9 +10,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/domestic_proxy.h"
+#include "core/fleet_api.h"
 #include "regulation/tca_agency.h"
 
 namespace sc::core {
@@ -30,6 +33,29 @@ class Deployment {
  public:
   Deployment(DomesticProxy& proxy, DeploymentInfo info = {})
       : proxy_(proxy), info_(std::move(info)) {}
+
+  ~Deployment() {
+    // The provider dies with the deployment; don't leave the proxy holding
+    // a dangling pointer.
+    if (fleet_ != nullptr) proxy_.setTunnelProvider(nullptr);
+  }
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // Constructs a TunnelProvider (fleet::Fleet in practice; sc_core only
+  // sees the interface), owns it, and installs it on the domestic proxy —
+  // the deployment step that turns the single split-proxy pair into a
+  // horizontally scaled service.
+  template <class Provider, class... Args>
+  Provider& spawnFleet(Args&&... args) {
+    auto provider = std::make_unique<Provider>(std::forward<Args>(args)...);
+    Provider& ref = *provider;
+    fleet_ = std::move(provider);
+    proxy_.setTunnelProvider(&ref);
+    return ref;
+  }
+  TunnelProvider* fleet() const noexcept { return fleet_.get(); }
 
   // Files the registration (documents included) and, weeks later in
   // simulated time, installs the assigned ICP number on success.
@@ -49,6 +75,7 @@ class Deployment {
  private:
   DomesticProxy& proxy_;
   DeploymentInfo info_;
+  std::unique_ptr<TunnelProvider> fleet_;
 };
 
 }  // namespace sc::core

@@ -14,6 +14,8 @@ DomesticProxy::DomesticProxy(transport::HostStack& stack,
     c_denied_ = reg->counter("sc.domestic.requests_denied");
     c_pac_downloads_ = reg->counter("sc.domestic.pac_downloads");
     c_rotations_ = reg->counter("sc.domestic.blinding_rotations");
+    c_pool_saturation_ = reg->counter("sc.domestic.pool_saturation");
+    c_cache_hits_ = reg->counter("sc.domestic.cache_hits");
   }
   http::ServerOptions sopts;
   sopts.port = options_.http_port;
@@ -41,8 +43,12 @@ DomesticProxy::DomesticProxy(transport::HostStack& stack,
         handleConnect(req, std::move(client), std::move(respond));
       });
 
-  tunnels_.resize(static_cast<std::size_t>(options_.tunnel_pool_size));
-  for (std::size_t i = 0; i < tunnels_.size(); ++i) ensureTunnel(i);
+  // Fleet-only deployments leave `remote` zero: the built-in pool would
+  // just dial nowhere and count saturation forever.
+  if (!options_.remote.ip.isZero()) {
+    tunnels_.resize(static_cast<std::size_t>(options_.tunnel_pool_size));
+    for (std::size_t i = 0; i < tunnels_.size(); ++i) ensureTunnel(i);
+  }
 }
 
 http::Url DomesticProxy::pacUrl() const {
@@ -56,8 +62,15 @@ http::Url DomesticProxy::pacUrl() const {
 
 http::PacScript DomesticProxy::buildPac() const {
   http::PacScript pac;
+  http::ProxyDecision via_proxy = http::ProxyDecision::httpProxy(proxyEndpoint());
+  for (const auto& backup : options_.pac_backup_proxies)
+    via_proxy.addFallback(http::ProxyHop{http::ProxyKind::kHttpProxy, backup});
+  // DIRECT last resort is opt-in: for truly blocked hosts it just moves the
+  // failure from "proxy down" to "GFW timeout", but incidentally-blocked
+  // hosts may still answer.
+  if (options_.pac_direct_fallback) via_proxy.addDirectFallback();
   for (const auto& domain : options_.whitelist)
-    pac.addDomainRule(domain, http::ProxyDecision::httpProxy(proxyEndpoint()));
+    pac.addDomainRule(domain, via_proxy);
   pac.setDefault(http::ProxyDecision::direct());
   return pac;
 }
@@ -115,10 +128,46 @@ void DomesticProxy::withTunnel(std::function<void(Tunnel::Ptr)> fn,
     fn(nullptr);
     return;
   }
+  // Pool exhausted (all slots dialing or dead): this retry is the signal
+  // autoscalers act on, so make it observable before waiting it out.
+  if (c_pool_saturation_ != nullptr) c_pool_saturation_->inc();
+  if (obs::Tracer* tracer = obs::tracerOf(stack_.sim())) {
+    obs::Event ev;
+    ev.at = stack_.sim().now();
+    ev.type = obs::EventType::kPoolSaturation;
+    ev.what = "tunnel_pool";
+    ev.tag = tag_;
+    ev.a = retries_left;
+    tracer->record(std::move(ev));
+  }
   stack_.sim().schedule(200 * sim::kMillisecond,
                         [this, fn = std::move(fn), retries_left]() mutable {
                           withTunnel(std::move(fn), retries_left - 1);
                         });
+}
+
+void DomesticProxy::openProxiedStream(net::Ipv4 client,
+                                      transport::ConnectTarget target,
+                                      bool passthrough,
+                                      TunnelProvider::StreamHandler fn) {
+  if (provider_ != nullptr) {
+    provider_->withStream(client, target, passthrough, std::move(fn));
+    return;
+  }
+  withTunnel([target = std::move(target), passthrough,
+              fn = std::move(fn)](Tunnel::Ptr tunnel) mutable {
+    fn(tunnel == nullptr ? nullptr : tunnel->openStream(target, passthrough));
+  });
+}
+
+net::Ipv4 DomesticProxy::peerOf(const http::Request& req) {
+  if (const auto peer = req.headers.get(http::HttpServer::kPeerHeader)) {
+    if (const auto ip = net::Ipv4::parse(*peer)) {
+      users_.insert(*ip);
+      return *ip;
+    }
+  }
+  return net::Ipv4{};
 }
 
 Tunnel::Ptr DomesticProxy::pickTunnel() {
@@ -170,30 +219,27 @@ void DomesticProxy::onSocksRequest(transport::ConnectTarget target,
     respond(false);
     return;
   }
-  withTunnel([this, target = std::move(target), client = std::move(client),
-              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
-    auto stream = tunnel == nullptr
-                      ? nullptr
-                      : tunnel->openStream(target, /*passthrough=*/false);
-    if (stream == nullptr) {
-      noteDenied();
-      respond(false);
-      return;
-    }
-    noteProxied();
-    ++socks_streams_;
-    respond(true);
-    transport::bridgeStreams(std::move(client), std::move(stream));
-  });
+  openProxiedStream(
+      net::Ipv4{}, std::move(target), /*passthrough=*/false,
+      [this, client = std::move(client),
+       respond = std::move(respond)](transport::Stream::Ptr stream) mutable {
+        if (stream == nullptr) {
+          noteDenied();
+          respond(false);
+          return;
+        }
+        noteProxied();
+        ++socks_streams_;
+        respond(true);
+        transport::bridgeStreams(std::move(client), std::move(stream));
+      });
 }
 
 void DomesticProxy::handleHttpRequest(const http::Request& req,
                                       http::HttpServer::Respond respond) {
   const auto url = http::Url::parse(req.target);
   const std::string host = url ? url->host : req.host();
-  if (const auto peer = req.headers.get(http::HttpServer::kPeerHeader)) {
-    if (const auto ip = net::Ipv4::parse(*peer)) users_.insert(*ip);
-  }
+  const net::Ipv4 client = peerOf(req);
 
   if (!url.has_value() || !isWhitelisted(host)) {
     noteDenied();
@@ -205,43 +251,62 @@ void DomesticProxy::handleHttpRequest(const http::Request& req,
     return;
   }
 
-  withTunnel([this, req, url, host,
-              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
-    // Plain HTTP rides an AES-encrypted tunnel stream (the "HTTPS-like
-    // encrypted tunnel" of §3's data-security paragraph).
-    auto stream = tunnel == nullptr
-                      ? nullptr
-                      : tunnel->openStream(
-                            transport::ConnectTarget::byHostname(host,
-                                                                 url->port),
-                            /*passthrough=*/false);
-    if (stream == nullptr) {
-      noteDenied();
-      http::Response resp;
-      resp.status = 502;
-      resp.reason = http::statusReason(502);
-      respond(std::move(resp));
+  // Domestic-side cache: a repeat GET never crosses the border link.
+  ResponseCache* cache =
+      provider_ != nullptr ? provider_->responseCache() : nullptr;
+  const bool cacheable = cache != nullptr && req.method == "GET";
+  const std::string cache_key = host + url->path;
+  if (cacheable) {
+    if (auto hit = cache->lookup(cache_key)) {
+      ++cache_hits_;
+      if (c_cache_hits_ != nullptr) c_cache_hits_->inc();
+      noteProxied();
+      hit->headers.set("x-cache", "hit");
+      respond(std::move(*hit));
       return;
     }
-    noteProxied();
-    http::Request upstream_req = req;
-    upstream_req.target = url->path;  // absolute-form to origin-form
-    upstream_req.headers.set("via", "scholarcloud/1.0");
-    http::HttpClient::fetchOn(
-        stream, stack_.sim(), std::move(upstream_req), 40 * sim::kSecond,
-        [stream,
-         respond = std::move(respond)](std::optional<http::Response> r) {
-          stream->close();
-          if (!r.has_value()) {
-            http::Response resp;
-            resp.status = 504;
-            resp.reason = http::statusReason(504);
-            respond(std::move(resp));
-            return;
-          }
-          respond(std::move(*r));
-        });
-  });
+  }
+
+  openProxiedStream(
+      client, transport::ConnectTarget::byHostname(host, url->port),
+      /*passthrough=*/false,
+      [this, req, url, cacheable, cache_key,
+       respond = std::move(respond)](transport::Stream::Ptr stream) mutable {
+        // Plain HTTP rides an AES-encrypted tunnel stream (the "HTTPS-like
+        // encrypted tunnel" of §3's data-security paragraph).
+        if (stream == nullptr) {
+          noteDenied();
+          http::Response resp;
+          resp.status = 502;
+          resp.reason = http::statusReason(502);
+          respond(std::move(resp));
+          return;
+        }
+        noteProxied();
+        http::Request upstream_req = req;
+        upstream_req.target = url->path;  // absolute-form to origin-form
+        upstream_req.headers.set("via", "scholarcloud/1.0");
+        http::HttpClient::fetchOn(
+            stream, stack_.sim(), std::move(upstream_req), 40 * sim::kSecond,
+            [this, stream, cacheable, cache_key = std::move(cache_key),
+             respond = std::move(respond)](std::optional<http::Response> r) {
+              stream->close();
+              if (!r.has_value()) {
+                http::Response resp;
+                resp.status = 504;
+                resp.reason = http::statusReason(504);
+                respond(std::move(resp));
+                return;
+              }
+              if (cacheable && r->status == 200) {
+                if (ResponseCache* c = provider_ != nullptr
+                                           ? provider_->responseCache()
+                                           : nullptr)
+                  c->insert(cache_key, *r);
+              }
+              respond(std::move(*r));
+            });
+      });
 }
 
 void DomesticProxy::handleConnect(const http::Request& req,
@@ -257,9 +322,7 @@ void DomesticProxy::handleConnect(const http::Request& req,
       if (c >= '0' && c <= '9') p = p * 10 + (c - '0');
     if (p > 0 && p <= 65535) port = static_cast<net::Port>(p);
   }
-  if (const auto peer = req.headers.get(http::HttpServer::kPeerHeader)) {
-    if (const auto ip = net::Ipv4::parse(*peer)) users_.insert(*ip);
-  }
+  const net::Ipv4 peer = peerOf(req);
 
   http::Response resp;
   if (!isWhitelisted(host)) {
@@ -270,30 +333,28 @@ void DomesticProxy::handleConnect(const http::Request& req,
     client->close();
     return;
   }
-  withTunnel([this, host, port, client = std::move(client),
-              respond = std::move(respond)](Tunnel::Ptr tunnel) mutable {
-    http::Response resp;
-    // HTTPS is already end-to-end encrypted: passthrough stream, no double
-    // encryption (§3, "Data security and privacy").
-    auto stream = tunnel == nullptr
-                      ? nullptr
-                      : tunnel->openStream(
-                            transport::ConnectTarget::byHostname(host, port),
-                            /*passthrough=*/true);
-    if (stream == nullptr) {
-      noteDenied();
-      resp.status = 502;
-      resp.reason = http::statusReason(502);
-      respond(std::move(resp));
-      client->close();
-      return;
-    }
-    noteProxied();
-    resp.status = 200;
-    resp.reason = "Connection Established";
-    respond(std::move(resp));
-    transport::bridgeStreams(std::move(client), std::move(stream));
-  });
+  // HTTPS is already end-to-end encrypted: passthrough stream, no double
+  // encryption (§3, "Data security and privacy").
+  openProxiedStream(
+      peer, transport::ConnectTarget::byHostname(host, port),
+      /*passthrough=*/true,
+      [this, client = std::move(client),
+       respond = std::move(respond)](transport::Stream::Ptr stream) mutable {
+        http::Response resp;
+        if (stream == nullptr) {
+          noteDenied();
+          resp.status = 502;
+          resp.reason = http::statusReason(502);
+          respond(std::move(resp));
+          client->close();
+          return;
+        }
+        noteProxied();
+        resp.status = 200;
+        resp.reason = "Connection Established";
+        respond(std::move(resp));
+        transport::bridgeStreams(std::move(client), std::move(stream));
+      });
 }
 
 }  // namespace sc::core

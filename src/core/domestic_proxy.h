@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet_api.h"
 #include "core/tunnel.h"
 #include "http/pac.h"
 #include "http/server.h"
@@ -26,7 +27,9 @@ namespace sc::core {
 
 struct DomesticProxyOptions {
   net::Port http_port = 8080;
-  net::Endpoint remote;  // remote proxy tunnel endpoint
+  // Remote proxy tunnel endpoint. A zero IP means "no built-in pool": the
+  // proxy then serves nothing until a TunnelProvider (a fleet) is installed.
+  net::Endpoint remote;
   Bytes tunnel_secret;
   crypto::BlindingMode blinding_mode = crypto::BlindingMode::kByteMap;
   std::vector<std::string> whitelist;  // e.g. {"scholar.google.com"}
@@ -35,6 +38,10 @@ struct DomesticProxyOptions {
   // check, user registry, logging, blinding) on its single-core VM. Light
   // enough that the service scales linearly in Fig. 7, as the paper found.
   double cycles_per_request = 6e6;
+  // Extra PAC failover hops after this proxy ("PROXY a; PROXY b; DIRECT"):
+  // standby domestic proxies, then optionally DIRECT as the last resort.
+  std::vector<net::Endpoint> pac_backup_proxies;
+  bool pac_direct_fallback = false;
 };
 
 class DomesticProxy {
@@ -81,6 +88,15 @@ class DomesticProxy {
   void setIcpNumber(std::string number) { icp_number_ = std::move(number); }
   const std::string& icpNumber() const noexcept { return icp_number_; }
 
+  // ---- fleet delegation ----
+  // When a provider is installed every stream open goes through it
+  // (balancing, health, failover) instead of the built-in tunnel pool, and
+  // its ResponseCache (if any) short-circuits repeat GETs domestically.
+  // Pass nullptr to fall back to the built-in pool.
+  void setTunnelProvider(TunnelProvider* provider) { provider_ = provider; }
+  TunnelProvider* tunnelProvider() const noexcept { return provider_; }
+  std::uint64_t cacheHits() const noexcept { return cache_hits_; }
+
  private:
   void noteProxied() {
     ++proxied_;
@@ -96,6 +112,11 @@ class DomesticProxy {
   // still dialing (startup or post-drop reconnect); nullptr on timeout.
   void withTunnel(std::function<void(Tunnel::Ptr)> fn, int retries_left = 50);
   void ensureTunnel(std::size_t slot);
+  // Single seam all three handlers (HTTP, CONNECT, SOCKS) go through:
+  // delegates to the installed TunnelProvider, else the built-in pool.
+  void openProxiedStream(net::Ipv4 client, transport::ConnectTarget target,
+                         bool passthrough, TunnelProvider::StreamHandler fn);
+  net::Ipv4 peerOf(const http::Request& req);
   void handleHttpRequest(const http::Request& req,
                          http::HttpServer::Respond respond);
   void handleConnect(const http::Request& req,
@@ -121,13 +142,17 @@ class DomesticProxy {
   std::uint64_t proxied_ = 0;
   std::uint64_t denied_ = 0;
   std::uint64_t pac_downloads_ = 0;
+  std::uint64_t cache_hits_ = 0;
   std::string icp_number_;
+  TunnelProvider* provider_ = nullptr;
 
   // Pre-resolved ops metrics (null without a hub).
   obs::Counter* c_proxied_ = nullptr;
   obs::Counter* c_denied_ = nullptr;
   obs::Counter* c_pac_downloads_ = nullptr;
   obs::Counter* c_rotations_ = nullptr;
+  obs::Counter* c_pool_saturation_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
 };
 
 }  // namespace sc::core

@@ -1,0 +1,67 @@
+#include "fleet/autoscaler.h"
+
+namespace sc::fleet {
+
+Autoscaler::Autoscaler(sim::Simulator& sim, AutoscalerOptions options,
+                       SizeFn size, ScaleFn scale)
+    : sim_(sim),
+      options_(options),
+      size_(std::move(size)),
+      scale_(std::move(scale)) {
+  if (options_.min_size < 1) options_.min_size = 1;
+  if (options_.max_size < options_.min_size)
+    options_.max_size = options_.min_size;
+  if (obs::Registry* reg = obs::registryOf(sim_)) {
+    g_load_ = reg->gauge(options_.load_gauge);
+    c_saturation_ = reg->counter(options_.saturation_counter);
+  }
+}
+
+void Autoscaler::start() {
+  timer_.cancel();
+  timer_ = sim_.schedule(options_.interval, [this] {
+    tick();
+    start();
+  });
+}
+
+void Autoscaler::stop() { timer_.cancel(); }
+
+double Autoscaler::readLoad() const {
+  return g_load_ == nullptr ? 0.0 : g_load_->value();
+}
+
+std::uint64_t Autoscaler::readSaturation() const {
+  return c_saturation_ == nullptr ? 0 : c_saturation_->value();
+}
+
+void Autoscaler::tick() {
+  const int size = size_ == nullptr ? 0 : size_();
+  if (size <= 0) return;
+
+  const std::uint64_t saturation = readSaturation();
+  const bool saturated = saturation > last_saturation_;
+  last_saturation_ = saturation;
+
+  const bool cooling =
+      scaled_once_ && sim_.now() - last_scale_at_ < options_.cooldown;
+  if (cooling) return;
+
+  const double per_endpoint = readLoad() / static_cast<double>(size);
+  if ((saturated || per_endpoint > options_.high_watermark) &&
+      size < options_.max_size) {
+    ++ups_;
+    scaled_once_ = true;
+    last_scale_at_ = sim_.now();
+    scale_(+1);
+    return;
+  }
+  if (per_endpoint < options_.low_watermark && size > options_.min_size) {
+    ++downs_;
+    scaled_once_ = true;
+    last_scale_at_ = sim_.now();
+    scale_(-1);
+  }
+}
+
+}  // namespace sc::fleet

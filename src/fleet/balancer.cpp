@@ -1,0 +1,80 @@
+#include "fleet/balancer.h"
+
+namespace sc::fleet {
+
+void Balancer::addBackend(int id, double weight) {
+  Backend& b = backends_[id];
+  b.weight = weight > 0 ? weight : 1.0;
+}
+
+void Balancer::removeBackend(int id) {
+  backends_.erase(id);
+  dropAffinity(id);
+}
+
+void Balancer::setAvailable(int id, bool available) {
+  const auto it = backends_.find(id);
+  if (it == backends_.end()) return;
+  it->second.available = available;
+  if (!available) dropAffinity(id);
+}
+
+bool Balancer::isAvailable(int id) const {
+  const auto it = backends_.find(id);
+  return it != backends_.end() && it->second.available;
+}
+
+std::optional<int> Balancer::pick(net::Ipv4 client) {
+  const std::uint32_t key = client.v;
+  if (key != 0) {
+    const auto pin = affinity_.find(key);
+    if (pin != affinity_.end()) {
+      const auto it = backends_.find(pin->second);
+      if (it != backends_.end() && it->second.available) {
+        ++it->second.active;
+        return pin->second;
+      }
+      affinity_.erase(pin);  // stale pin: backend gone or draining
+    }
+  }
+
+  int best = -1;
+  double best_ratio = 0;
+  for (auto& [id, b] : backends_) {
+    if (!b.available) continue;
+    const double ratio = static_cast<double>(b.active) / b.weight;
+    if (best == -1 || ratio < best_ratio) {
+      best = id;
+      best_ratio = ratio;
+    }
+  }
+  if (best == -1) return std::nullopt;
+  ++backends_[best].active;
+  if (key != 0) affinity_[key] = best;
+  return best;
+}
+
+void Balancer::release(int id) {
+  const auto it = backends_.find(id);
+  if (it != backends_.end() && it->second.active > 0) --it->second.active;
+}
+
+int Balancer::active(int id) const {
+  const auto it = backends_.find(id);
+  return it == backends_.end() ? 0 : it->second.active;
+}
+
+std::size_t Balancer::availableCount() const {
+  std::size_t n = 0;
+  for (const auto& [id, b] : backends_)
+    if (b.available) ++n;
+  return n;
+}
+
+void Balancer::dropAffinity(int id) {
+  for (auto it = affinity_.begin(); it != affinity_.end();) {
+    it = it->second == id ? affinity_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace sc::fleet

@@ -1,0 +1,59 @@
+// Weighted least-connections balancer with per-client session affinity.
+//
+// Every stream open leases one connection slot on a backend; the lease is
+// released when the stream closes. pick() chooses the available backend with
+// the lowest active/weight ratio, breaking ties on the smallest backend id
+// so a run is a pure function of the event order (no RNG, no pointer order).
+//
+// Affinity: a client that has been served before sticks to its backend while
+// that backend stays available — Scholar sessions keep their egress IP, so
+// origin-side rate limiting and cookies behave as they would for one user.
+// When the pinned backend is retired or marked unavailable the pin is
+// dropped and the next pick re-pins to the then-best backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.h"
+
+namespace sc::fleet {
+
+class Balancer {
+ public:
+  struct Backend {
+    double weight = 1.0;
+    int active = 0;
+    bool available = true;
+  };
+
+  void addBackend(int id, double weight = 1.0);
+  void removeBackend(int id);
+  // Unavailable backends are skipped by pick() and lose their affinity pins
+  // (existing leases are unaffected; in-flight streams drain naturally).
+  void setAvailable(int id, bool available);
+  bool isAvailable(int id) const;
+
+  // Leases a slot on the chosen backend. `client` keys affinity; pass
+  // net::Ipv4{} for anonymous picks (no pinning). nullopt when no backend
+  // is available.
+  std::optional<int> pick(net::Ipv4 client);
+  void release(int id);
+
+  int active(int id) const;
+  std::size_t size() const noexcept { return backends_.size(); }
+  std::size_t availableCount() const;
+  const std::map<int, Backend>& backends() const noexcept { return backends_; }
+
+ private:
+  void dropAffinity(int id);
+
+  // std::map: pick() iterates in ascending id order, which is what makes the
+  // tie-break (and therefore every trace) deterministic.
+  std::map<int, Backend> backends_;
+  std::unordered_map<std::uint32_t, int> affinity_;  // client ip -> backend
+};
+
+}  // namespace sc::fleet

@@ -28,17 +28,22 @@ void IpBlocklist::add(net::Ipv4 ip, sim::Time expiry) {
   const auto it = exact_.find(ip);
   if (it == exact_.end()) {
     exact_[ip] = expiry;
+    noteChanged();
     return;
   }
   if (it->second == 0) return;  // already permanent: never shorten
   it->second = expiry == 0 ? 0 : std::max(it->second, expiry);
+  noteChanged();
 }
 
 void IpBlocklist::addPrefix(net::Prefix prefix) {
   prefixes_.push_back(prefix);
+  noteChanged();
 }
 
-void IpBlocklist::remove(net::Ipv4 ip) { exact_.erase(ip); }
+void IpBlocklist::remove(net::Ipv4 ip) {
+  if (exact_.erase(ip) > 0) noteChanged();
+}
 
 bool IpBlocklist::isBlocked(net::Ipv4 ip, sim::Time now) const {
   const auto it = exact_.find(ip);

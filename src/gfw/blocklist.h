@@ -3,6 +3,8 @@
 // Google block and for temporary active-probing verdicts).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,9 +37,23 @@ class IpBlocklist {
     return exact_.size() + prefixes_.size();
   }
 
+  // Churn visibility: the version is bumped on every mutating add/remove,
+  // and the on-change hook (one observer; fleets fan out internally) fires
+  // after the mutation lands. Lazy expiry inside isBlocked() does NOT count
+  // as churn — health probes discover recovery by succeeding.
+  std::uint64_t version() const noexcept { return version_; }
+  void setOnChange(std::function<void()> cb) { on_change_ = std::move(cb); }
+
  private:
+  void noteChanged() {
+    ++version_;
+    if (on_change_) on_change_();
+  }
+
   mutable std::unordered_map<net::Ipv4, sim::Time> exact_;
   std::vector<net::Prefix> prefixes_;
+  std::uint64_t version_ = 0;
+  std::function<void()> on_change_;
 };
 
 }  // namespace sc::gfw

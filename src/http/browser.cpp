@@ -71,10 +71,12 @@ void Browser::loadPacFrom(const Url& pac_url, std::function<void(bool)> cb) {
 std::string Browser::poolKey(const ProxyDecision& d, const Url& url) {
   std::string key = url.scheme + "//" + url.host + ":" +
                     std::to_string(url.port) + "|";
-  switch (d.kind) {
-    case ProxyKind::kDirect: key += "direct"; break;
-    case ProxyKind::kHttpProxy: key += "http:" + d.proxy.str(); break;
-    case ProxyKind::kSocks: key += "socks:" + d.proxy.str(); break;
+  for (const ProxyHop& hop : d.hops()) {
+    switch (hop.kind) {
+      case ProxyKind::kDirect: key += "direct;"; break;
+      case ProxyKind::kHttpProxy: key += "http:" + hop.proxy.str() + ";"; break;
+      case ProxyKind::kSocks: key += "socks:" + hop.proxy.str() + ";"; break;
+    }
   }
   return key;
 }
@@ -127,6 +129,31 @@ void Browser::finishTls(transport::Stream::Ptr raw, const Url& url,
 
 void Browser::acquireStream(const ProxyDecision& decision, const Url& url,
                             transport::Connector::ConnectHandler cb) {
+  auto hops = std::make_shared<std::vector<ProxyHop>>(decision.hops());
+  acquireHop(std::move(hops), 0, url, std::move(cb));
+}
+
+void Browser::acquireHop(std::shared_ptr<std::vector<ProxyHop>> hops,
+                         std::size_t index, const Url& url,
+                         transport::Connector::ConnectHandler cb) {
+  if (index >= hops->size()) {
+    cb(nullptr);
+    return;
+  }
+  const ProxyHop hop = (*hops)[index];
+  connectVia(hop, url,
+             [this, hops = std::move(hops), index, url,
+              cb = std::move(cb)](transport::Stream::Ptr stream) mutable {
+               if (stream != nullptr) {
+                 cb(std::move(stream));
+                 return;
+               }
+               acquireHop(std::move(hops), index + 1, url, std::move(cb));
+             });
+}
+
+void Browser::connectVia(const ProxyHop& decision, const Url& url,
+                         transport::Connector::ConnectHandler cb) {
   switch (decision.kind) {
     case ProxyKind::kDirect: {
       // Hosts-file overrides and IP-literal hosts (e.g. a PAC URL handed out

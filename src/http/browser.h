@@ -97,8 +97,16 @@ class Browser {
 
   // Core single-resource fetch (no redirect following).
   void fetchUrl(const Url& url, bool conditional, FetchCb cb);
+  // Walks the decision's failover chain: hop 0, then each fallback in order,
+  // until one yields a stream (like a real browser handling
+  // "PROXY a; PROXY b; DIRECT").
   void acquireStream(const ProxyDecision& decision, const Url& url,
                      transport::Connector::ConnectHandler cb);
+  void acquireHop(std::shared_ptr<std::vector<ProxyHop>> hops,
+                  std::size_t index, const Url& url,
+                  transport::Connector::ConnectHandler cb);
+  void connectVia(const ProxyHop& hop, const Url& url,
+                  transport::Connector::ConnectHandler cb);
   void finishTls(transport::Stream::Ptr raw, const Url& url,
                  transport::Connector::ConnectHandler cb);
 

@@ -24,21 +24,27 @@ ProxyDecision PacScript::evaluate(const std::string& host) const {
 }
 
 namespace {
-std::string decisionText(const ProxyDecision& d) {
-  switch (d.kind) {
+std::string hopText(const ProxyHop& hop) {
+  switch (hop.kind) {
     case ProxyKind::kDirect:
       return "DIRECT";
     case ProxyKind::kHttpProxy:
-      return "PROXY " + d.proxy.str();
+      return "PROXY " + hop.proxy.str();
     case ProxyKind::kSocks:
-      return "SOCKS " + d.proxy.str();
+      return "SOCKS " + hop.proxy.str();
   }
   return "DIRECT";
 }
 
-std::optional<ProxyDecision> parseDecision(std::string_view text) {
+std::string decisionText(const ProxyDecision& d) {
+  std::string out = hopText(ProxyHop{d.kind, d.proxy});
+  for (const auto& hop : d.fallbacks) out += "; " + hopText(hop);
+  return out;
+}
+
+std::optional<ProxyHop> parseHop(std::string_view text) {
   text = trimWhitespace(text);
-  if (text == "DIRECT") return ProxyDecision::direct();
+  if (text == "DIRECT") return ProxyHop{};
   const auto space = text.find(' ');
   if (space == std::string_view::npos) return std::nullopt;
   const std::string_view kind = text.substr(0, space);
@@ -54,9 +60,36 @@ std::optional<ProxyDecision> parseDecision(std::string_view text) {
     if (port > 65535) return std::nullopt;
   }
   const net::Endpoint ep{*ip, static_cast<net::Port>(port)};
-  if (kind == "PROXY") return ProxyDecision::httpProxy(ep);
-  if (kind == "SOCKS" || kind == "SOCKS5") return ProxyDecision::socks(ep);
+  if (kind == "PROXY") return ProxyHop{ProxyKind::kHttpProxy, ep};
+  if (kind == "SOCKS" || kind == "SOCKS5")
+    return ProxyHop{ProxyKind::kSocks, ep};
   return std::nullopt;
+}
+
+// Failover chain: ';'-separated hops, any amount of whitespace around each.
+// An empty segment (";;", trailing ";") is outside the dialect.
+std::optional<ProxyDecision> parseDecision(std::string_view text) {
+  ProxyDecision decision;
+  bool first = true;
+  while (true) {
+    const auto semi = text.find(';');
+    const std::string_view segment =
+        trimWhitespace(semi == std::string_view::npos ? text
+                                                      : text.substr(0, semi));
+    if (segment.empty()) return std::nullopt;
+    const auto hop = parseHop(segment);
+    if (!hop) return std::nullopt;
+    if (first) {
+      decision.kind = hop->kind;
+      decision.proxy = hop->proxy;
+      first = false;
+    } else {
+      decision.fallbacks.push_back(*hop);
+    }
+    if (semi == std::string_view::npos) break;
+    text = text.substr(semi + 1);
+  }
+  return decision;
 }
 }  // namespace
 

@@ -22,17 +22,48 @@ namespace sc::http {
 
 enum class ProxyKind { kDirect, kHttpProxy, kSocks };
 
-struct ProxyDecision {
+// One entry of a PAC return string. Real PAC strings are failover chains —
+// "PROXY a:p; PROXY b:p; DIRECT" — and browsers walk the entries in order
+// until one connects.
+struct ProxyHop {
   ProxyKind kind = ProxyKind::kDirect;
   net::Endpoint proxy;
 
+  bool operator==(const ProxyHop&) const = default;
+};
+
+struct ProxyDecision {
+  // Primary hop, kept flat (kind/proxy) so single-entry decisions — the
+  // overwhelmingly common case — read and compare as before.
+  ProxyKind kind = ProxyKind::kDirect;
+  net::Endpoint proxy;
+  std::vector<ProxyHop> fallbacks;  // tried in order after the primary
+
   static ProxyDecision direct() { return {}; }
   static ProxyDecision httpProxy(net::Endpoint ep) {
-    return ProxyDecision{ProxyKind::kHttpProxy, ep};
+    return ProxyDecision{ProxyKind::kHttpProxy, ep, {}};
   }
   static ProxyDecision socks(net::Endpoint ep) {
-    return ProxyDecision{ProxyKind::kSocks, ep};
+    return ProxyDecision{ProxyKind::kSocks, ep, {}};
   }
+
+  ProxyDecision& addFallback(ProxyHop hop) {
+    fallbacks.push_back(hop);
+    return *this;
+  }
+  ProxyDecision& addDirectFallback() {
+    return addFallback(ProxyHop{ProxyKind::kDirect, {}});
+  }
+
+  // All hops, primary first.
+  std::vector<ProxyHop> hops() const {
+    std::vector<ProxyHop> out;
+    out.reserve(1 + fallbacks.size());
+    out.push_back(ProxyHop{kind, proxy});
+    out.insert(out.end(), fallbacks.begin(), fallbacks.end());
+    return out;
+  }
+
   bool operator==(const ProxyDecision&) const = default;
 };
 

@@ -14,6 +14,11 @@ const char* eventTypeName(EventType type) {
     case EventType::kTunnelPing: return "tunnel_ping";
     case EventType::kTcpRetransmit: return "tcp_retransmit";
     case EventType::kNote: return "note";
+    case EventType::kPoolSaturation: return "pool_saturation";
+    case EventType::kFleetProbe: return "fleet_probe";
+    case EventType::kFleetFailover: return "fleet_failover";
+    case EventType::kFleetScale: return "fleet_scale";
+    case EventType::kCacheLookup: return "cache_lookup";
   }
   return "?";
 }

@@ -6,7 +6,9 @@
 #include "dns/server.h"
 #include "helpers.h"
 #include "http/browser.h"
+#include "http/client.h"
 #include "http/origin.h"
+#include "obs/hub.h"
 #include "regulation/tca_agency.h"
 
 namespace sc::core {
@@ -481,6 +483,50 @@ TEST(ScholarCloud, AutoRotateBumpsEpochOnSchedule) {
   const auto epoch = w.domestic->blindingEpoch();
   w.sim.runUntil(w.sim.now() + 30 * sim::kSecond);
   EXPECT_EQ(w.domestic->blindingEpoch(), epoch);
+}
+
+// Satellite observable: when a request arrives while the tunnel pool has no
+// connected tunnel, every retry bumps sc.domestic.pool_saturation and (with
+// tracing on) records a kPoolSaturation event — the signal the fleet
+// autoscaler keys off.
+TEST(ScholarCloud, PoolSaturationIsCountedAndTraced) {
+  sim::Simulator sim(7);
+  obs::Hub hub(sim);
+  hub.tracer().enable();
+  net::Network network(sim);
+  net::World world(network);
+  auto& dead_node = world.addUsServer("dead-remote");  // nobody listens
+  auto& domestic_node = world.addCampusServer("domestic");
+  transport::HostStack domestic_stack(domestic_node);
+  DomesticProxyOptions dopts;
+  dopts.remote = net::Endpoint{dead_node.primaryIp(), 443};
+  dopts.tunnel_secret = toBytes("operator-secret");
+  dopts.whitelist = {"scholar.google.com"};
+  DomesticProxy proxy(domestic_stack, dopts);
+
+  auto& client_node = world.addCampusHost("client");
+  transport::HostStack client(client_node);
+  bool done = false;
+  auto holder = std::make_shared<transport::TcpSocket::Ptr>();
+  *holder = client.tcpConnect(proxy.proxyEndpoint(), [&](bool ok) {
+    ASSERT_TRUE(ok);
+    http::Request req;
+    req.target = "http://scholar.google.com/";
+    req.headers.set("host", "scholar.google.com");
+    http::HttpClient::fetchOn(*holder, sim, std::move(req), 60 * sim::kSecond,
+                              [&](std::optional<http::Response>) {
+                                done = true;
+                              });
+  });
+  sim.runUntil(30 * sim::kSecond);
+  EXPECT_TRUE(done);  // retries exhausted -> 502, not a hang
+  EXPECT_GE(obs::registryOf(sim)->counter("sc.domestic.pool_saturation")
+                ->value(),
+            1u);
+  bool saw_event = false;
+  for (const auto& ev : hub.tracer().events())
+    if (ev.type == obs::EventType::kPoolSaturation) saw_event = true;
+  EXPECT_TRUE(saw_event);
 }
 
 }  // namespace

@@ -270,6 +270,57 @@ TEST(Pac, JavaScriptRoundTrip) {
             ProxyDecision::socks({net::Ipv4(127, 0, 0, 1), 9050}));
 }
 
+TEST(Pac, FailoverChainEmitsAndParsesInOrder) {
+  const net::Endpoint primary{net::Ipv4(10, 3, 0, 1), 8080};
+  const net::Endpoint backup{net::Ipv4(10, 3, 0, 2), 8080};
+  auto decision = ProxyDecision::httpProxy(primary);
+  decision.addFallback(ProxyHop{ProxyKind::kHttpProxy, backup})
+      .addDirectFallback();
+
+  PacScript pac;
+  pac.addDomainRule("scholar.google.com", decision);
+  pac.setDefault(ProxyDecision::direct());
+  const std::string js = pac.toJavaScript();
+  EXPECT_NE(js.find("PROXY 10.3.0.1:8080; PROXY 10.3.0.2:8080; DIRECT"),
+            std::string::npos);
+
+  const auto parsed = PacScript::parseJavaScript(js);
+  ASSERT_TRUE(parsed.has_value());
+  const auto round = parsed->evaluate("scholar.google.com");
+  EXPECT_EQ(round, decision);
+  const auto hops = round.hops();
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].proxy, primary);  // order preserved: primary first
+  EXPECT_EQ(hops[1].proxy, backup);
+  EXPECT_EQ(hops[2].kind, ProxyKind::kDirect);
+}
+
+TEST(Pac, FailoverChainToleratesWhitespaceBetweenHops) {
+  const std::string js =
+      "function FindProxyForURL(url, host) {\n"
+      "  return \"PROXY 1.2.3.4:8080 ;  PROXY 5.6.7.8:8080;DIRECT\";\n}\n";
+  const auto parsed = PacScript::parseJavaScript(js);
+  ASSERT_TRUE(parsed.has_value());
+  const auto d = parsed->defaultDecision();
+  EXPECT_EQ(d.kind, ProxyKind::kHttpProxy);
+  EXPECT_EQ(d.proxy, (net::Endpoint{net::Ipv4(1, 2, 3, 4), 8080}));
+  ASSERT_EQ(d.fallbacks.size(), 2u);
+  EXPECT_EQ(d.fallbacks[0].proxy, (net::Endpoint{net::Ipv4(5, 6, 7, 8), 8080}));
+  EXPECT_EQ(d.fallbacks[1].kind, ProxyKind::kDirect);
+}
+
+TEST(Pac, FailoverChainRejectsEmptySegments) {
+  const auto make = [](const std::string& ret) {
+    return PacScript::parseJavaScript(
+        "function FindProxyForURL(url, host) {\n  return \"" + ret +
+        "\";\n}\n");
+  };
+  EXPECT_FALSE(make("PROXY 1.2.3.4:8080;").has_value());   // trailing ';'
+  EXPECT_FALSE(make("PROXY 1.2.3.4:8080;;DIRECT").has_value());
+  EXPECT_FALSE(make(";DIRECT").has_value());
+  EXPECT_TRUE(make("PROXY 1.2.3.4:8080;DIRECT").has_value());
+}
+
 TEST(Pac, ParserRejectsOutsideDialect) {
   EXPECT_FALSE(PacScript::parseJavaScript("function f() { alert(1); }")
                    .has_value());
