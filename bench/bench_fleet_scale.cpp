@@ -18,7 +18,9 @@
 
 namespace {
 
+// sclint:allow(det-wallclock) parallel-vs-serial wall time is what this bench reports
 double secondsSince(std::chrono::steady_clock::time_point start) {
+  // sclint:allow(det-wallclock) parallel-vs-serial wall time is what this bench reports
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -77,9 +79,11 @@ int main() {
     cells.push_back(c);  // ... vs the identical world without it
   }
 
+  // sclint:allow(det-wallclock) parallel-vs-serial wall time is what this bench reports
   const auto par_start = std::chrono::steady_clock::now();
   const auto results = measure::runFleetCells(cells, threads);
   const double parallel_s = secondsSince(par_start);
+  // sclint:allow(det-wallclock) parallel-vs-serial wall time is what this bench reports
   const auto serial_start = std::chrono::steady_clock::now();
   const auto serial = measure::runFleetCells(cells, 1);
   const double serial_s = secondsSince(serial_start);

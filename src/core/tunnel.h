@@ -17,8 +17,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "core/blinded_stream.h"
 #include "obs/hub.h"
@@ -124,7 +124,10 @@ class Tunnel : public std::enable_shared_from_this<Tunnel> {
   Options options_;
   BlindedStream::Ptr wire_;
   Bytes rx_buffer_;
-  std::unordered_map<std::uint32_t, std::weak_ptr<TunnelStream>> streams_;
+  // std::map, not unordered: wire teardown walks this calling remoteClosed()
+  // on every live stream, and that callback order feeds event ordering —
+  // ascending stream-id iteration keeps traces byte-identical across runs.
+  std::map<std::uint32_t, std::weak_ptr<TunnelStream>> streams_;
   std::uint32_t next_stream_id_ = 1;
   OpenHandler on_open_;
   std::function<void()> on_close_;

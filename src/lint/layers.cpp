@@ -1,0 +1,98 @@
+#include "lint/layers.h"
+
+#include "util/strings.h"
+
+namespace sc::lint {
+
+namespace {
+
+// Expands `module`'s direct edges into `out.allowed[module]` depth-first.
+// Tri-color DFS: `visiting` is the open stack (re-entering it is a cycle),
+// `done` memoizes fully-closed modules so shared substructure is expanded
+// once and a half-expanded node can never masquerade as finished.
+void close(const std::map<std::string, std::set<std::string>>& direct,
+           const std::string& module, std::set<std::string>& visiting,
+           std::set<std::string>& done, LayerGraph& out) {
+  if (done.count(module) != 0) return;
+  if (!visiting.insert(module).second) {
+    out.errors.push_back("layers.conf: dependency cycle through '" + module +
+                         "'");
+    return;
+  }
+  for (const std::string& dep : direct.at(module)) {
+    out.allowed[module].insert(dep);
+    close(direct, dep, visiting, done, out);
+    if (!out.ok()) return;
+    for (const std::string& transitive : out.allowed[dep])
+      out.allowed[module].insert(transitive);
+  }
+  visiting.erase(module);
+  done.insert(module);
+}
+
+}  // namespace
+
+LayerGraph parseLayersConf(std::string_view text) {
+  LayerGraph graph;
+  std::map<std::string, std::set<std::string>> direct;
+  int line_no = 0;
+  for (const std::string& raw : splitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trimWhitespace(line);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      graph.errors.push_back("layers.conf:" + std::to_string(line_no) +
+                             ": expected '<module>: <deps...>'");
+      continue;
+    }
+    const std::string module{trimWhitespace(line.substr(0, colon))};
+    if (module.empty() || module.find(' ') != std::string::npos) {
+      graph.errors.push_back("layers.conf:" + std::to_string(line_no) +
+                             ": bad module name '" + module + "'");
+      continue;
+    }
+    if (!direct.emplace(module, std::set<std::string>{}).second) {
+      graph.errors.push_back("layers.conf:" + std::to_string(line_no) +
+                             ": duplicate module '" + module + "'");
+      continue;
+    }
+    for (const std::string& dep : splitString(line.substr(colon + 1), ' ')) {
+      const std::string name{trimWhitespace(dep)};
+      if (name.empty()) continue;
+      if (name == module) {
+        graph.errors.push_back("layers.conf:" + std::to_string(line_no) +
+                               ": module '" + module + "' depends on itself");
+        continue;
+      }
+      direct[module].insert(name);
+    }
+  }
+  for (const auto& [module, deps] : direct) {
+    for (const std::string& dep : deps) {
+      if (direct.count(dep) == 0) {
+        graph.errors.push_back("layers.conf: module '" + module +
+                               "' depends on undeclared module '" + dep +
+                               "'");
+      }
+    }
+  }
+  if (!graph.ok()) return graph;
+  for (const auto& [module, deps] : direct) {
+    (void)deps;
+    graph.allowed.emplace(module, std::set<std::string>{});
+  }
+  std::set<std::string> visiting;
+  std::set<std::string> done;
+  for (const auto& [module, deps] : direct) {
+    (void)deps;
+    close(direct, module, visiting, done, graph);
+    if (!graph.ok()) return graph;
+  }
+  return graph;
+}
+
+}  // namespace sc::lint

@@ -1,0 +1,48 @@
+// The declared module DAG, parsed from lint/layers.conf.
+//
+// Conf grammar (one module per line, '#' comments):
+//
+//   <module>: <direct-dep> <direct-dep> ...
+//
+// Dependencies are *direct* edges; the parser computes the transitive
+// closure, so `dns: transport` legalises dns -> {transport, net, crypto,
+// sim, obs, util}. Every module a `src/<module>/` file includes from must be
+// reachable this way, which is what makes the conf a readable statement of
+// the architecture instead of a per-module allowlist dump:
+//
+//   util -> sim -> obs -> {net, crypto} -> {transport, regulation, dns,
+//   http, vpn, openvpn, shadowsocks, tor, gfw} -> core -> fleet ->
+//   {measure, survey}
+//
+// Cycles and references to undeclared modules are parse errors: a conf that
+// cannot be a DAG must fail the lint run loudly rather than allow anything.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::lint {
+
+struct LayerGraph {
+  // module -> every module it may include from (transitive, excludes self;
+  // self-includes are always legal).
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> errors;  // parse/cycle diagnostics; empty = ok
+
+  bool ok() const { return errors.empty(); }
+  bool knows(const std::string& module) const {
+    return allowed.count(module) != 0;
+  }
+  bool permits(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    const auto it = allowed.find(from);
+    return it != allowed.end() && it->second.count(to) != 0;
+  }
+};
+
+LayerGraph parseLayersConf(std::string_view text);
+
+}  // namespace sc::lint

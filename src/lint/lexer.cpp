@@ -1,0 +1,226 @@
+#include "lint/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace sc::lint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Longest-match-first table of multi-char operators the rules care to see
+// whole: `::` must not read as two colons (range-for detection keys on a
+// lone `:`), `==`/`+=`/... must not read as `=` (assert side-effect rule
+// keys on a lone `=`), `->` joins member paths.
+constexpr std::array<std::string_view, 21> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "==", "!=", "<=",
+    ">=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) lexOne();
+    return std::move(out_);
+  }
+
+ private:
+  char at(std::size_t i) const { return i < src_.size() ? src_[i] : '\0'; }
+  char cur() const { return at(pos_); }
+  char peek() const { return at(pos_ + 1); }
+
+  void advance() {
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::size_t begin, int line) {
+    out_.push_back(Token{kind, std::string(src_.substr(begin, pos_ - begin)),
+                         line});
+  }
+
+  void lexOne() {
+    const char c = cur();
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') return lexLineComment();
+    if (c == '/' && peek() == '*') return lexBlockComment();
+    if (c == '"') return lexString(pos_);
+    if (c == '\'') return lexCharLit();
+    if (c == 'R' && peek() == '"') return lexRawString();
+    // Encoding prefixes: u8"..", L"..", u"..", U".." (and raw variants).
+    if ((c == 'u' || c == 'U' || c == 'L')) {
+      std::size_t p = pos_ + 1;
+      if (c == 'u' && at(p) == '8') ++p;
+      if (at(p) == '"') {
+        const std::size_t begin = pos_;
+        while (pos_ < p) advance();
+        return lexString(begin);
+      }
+      if (at(p) == 'R' && at(p + 1) == '"') {
+        const std::size_t begin = pos_;
+        while (pos_ < p) advance();
+        return lexRawString(begin);
+      }
+    }
+    if (isIdentStart(c)) return lexIdentifier();
+    if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber();
+    return lexPunct();
+  }
+
+  void lexLineComment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && cur() != '\n') advance();
+    emit(TokKind::kComment, begin, line);
+  }
+
+  void lexBlockComment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    advance();  // '/'
+    advance();  // '*'
+    // Standard C++ semantics: block comments do not nest; the first `*/`
+    // ends the comment even if another `/*` appeared inside.
+    while (pos_ < src_.size() && !(cur() == '*' && peek() == '/')) advance();
+    if (pos_ < src_.size()) {
+      advance();
+      advance();
+    }
+    emit(TokKind::kComment, begin, line);
+  }
+
+  void lexString(std::size_t begin) {
+    const int line = line_;
+    advance();  // opening quote
+    while (pos_ < src_.size() && cur() != '"') {
+      if (cur() == '\\' && pos_ + 1 < src_.size()) advance();
+      advance();
+    }
+    if (pos_ < src_.size()) advance();  // closing quote
+    emit(TokKind::kString, begin, line);
+    include_pending_ = false;  // a quoted include consumed the directive
+  }
+
+  void lexCharLit() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    advance();
+    while (pos_ < src_.size() && cur() != '\'') {
+      if (cur() == '\\' && pos_ + 1 < src_.size()) advance();
+      advance();
+    }
+    if (pos_ < src_.size()) advance();
+    emit(TokKind::kCharLit, begin, line);
+  }
+
+  void lexRawString() { lexRawString(pos_); }
+
+  // R"delim( ... )delim" — nothing inside is escaped; the only terminator
+  // is )delim" with the exact delimiter.
+  void lexRawString(std::size_t begin) {
+    const int line = line_;
+    advance();  // 'R'
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && cur() != '(') {
+      delim += cur();
+      advance();
+    }
+    if (pos_ < src_.size()) advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, close.size(), close) != 0) {
+      advance();
+    }
+    for (std::size_t i = 0; i < close.size() && pos_ < src_.size(); ++i)
+      advance();
+    emit(TokKind::kString, begin, line);
+  }
+
+  void lexIdentifier() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && isIdentChar(cur())) advance();
+    emit(TokKind::kIdentifier, begin, line);
+    maybeEnterIncludeMode();
+  }
+
+  void lexNumber() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() &&
+           (isIdentChar(cur()) || cur() == '.' ||
+            ((cur() == '+' || cur() == '-') &&
+             (at(pos_ - 1) == 'e' || at(pos_ - 1) == 'E' ||
+              at(pos_ - 1) == 'p' || at(pos_ - 1) == 'P')))) {
+      advance();
+    }
+    emit(TokKind::kNumber, begin, line);
+  }
+
+  void lexPunct() {
+    // `#include <x/y.h>`: the header name would otherwise lex as
+    // `< x / y . h >`; capture it as one Header token instead.
+    if (cur() == '<' && include_pending_) {
+      const std::size_t begin = pos_;
+      const int line = line_;
+      while (pos_ < src_.size() && cur() != '>' && cur() != '\n') advance();
+      if (pos_ < src_.size() && cur() == '>') advance();
+      emit(TokKind::kHeader, begin, line);
+      include_pending_ = false;
+      return;
+    }
+    include_pending_ = false;
+    for (std::string_view op : kMultiPunct) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        const std::size_t begin = pos_;
+        const int line = line_;
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        emit(TokKind::kPunct, begin, line);
+        return;
+      }
+    }
+    const std::size_t begin = pos_;
+    const int line = line_;
+    advance();
+    emit(TokKind::kPunct, begin, line);
+  }
+
+  // Arms Header-token lexing right after `# include` (the `#` is the
+  // previous code token, possibly with comments in between).
+  void maybeEnterIncludeMode() {
+    if (out_.empty() || out_.back().text != "include") {
+      include_pending_ = false;
+      return;
+    }
+    for (std::size_t i = out_.size() - 1; i-- > 0;) {
+      if (out_[i].kind == TokKind::kComment) continue;
+      include_pending_ = out_[i].kind == TokKind::kPunct && out_[i].text == "#";
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool include_pending_ = false;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace sc::lint

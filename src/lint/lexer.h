@@ -1,0 +1,46 @@
+// A lightweight, lint-grade C++ tokenizer.
+//
+// sclint's rules only need to see code the compiler sees: banned identifiers
+// inside string literals, char literals or comments must never fire. The
+// lexer therefore understands line comments, (non-nesting) block comments,
+// escaped string/char literals and raw strings R"delim(...)delim", and emits
+// comments as tokens of their own so the suppression pass can read the
+// sclint allow-annotations (rule id in parentheses, reason after) without
+// re-scanning the source.
+//
+// `#include <net/address.h>` is special-cased: after an include directive the
+// angle-bracket header name is lexed as one Header token instead of an
+// operator soup, so the layering rule gets both quoted and system includes
+// uniformly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (no keyword table needed)
+  kNumber,
+  kPunct,       // operators/punctuation; multi-char ops are single tokens
+  kString,      // string literal, text includes quotes; raw strings too
+  kCharLit,     // character literal, text includes quotes
+  kHeader,      // <...> header name after #include, text includes <>
+  kComment,     // // or /* */ comment, text includes the delimiters
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Tokenizes `source`. Never fails: unrecognized bytes become one-char punct
+// tokens, an unterminated literal or comment runs to end of input.
+std::vector<Token> lex(std::string_view source);
+
+// True for tokens rule code should treat as code (not comments).
+inline bool isCode(const Token& t) { return t.kind != TokKind::kComment; }
+
+}  // namespace sc::lint

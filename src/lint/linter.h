@@ -1,0 +1,70 @@
+// Ties lexer + rules + layer graph into per-file reports.
+//
+// Suppressions: a comment carrying the sclint allow-marker — the rule id in
+// parentheses, the reason after — covers findings of
+// that rule on the comment's own line and on the line directly below it
+// (so it can trail the offending statement or sit on its own line above).
+// Suppressed findings are kept and counted, never dropped: the JSON output
+// and the summary line both show how much of the tree lives under waivers.
+// An allow with no reason, or naming a rule that does not exist, is itself
+// a finding — and meta findings cannot be suppressed.
+//
+// lintSource() is pure (path + content in, report out) so tests feed
+// synthetic sources without touching the filesystem; the sclint driver owns
+// directory walking and companion-header lookup.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/layers.h"
+#include "lint/rules.h"
+
+namespace sc::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  // the allow's justification when suppressed
+};
+
+struct FileReport {
+  std::string file;
+  std::vector<Finding> findings;  // line order; suppressed ones included
+  int suppressions = 0;           // sclint:allow annotations seen
+  int suppressions_unused = 0;    // annotations that matched no finding
+};
+
+struct LintOptions {
+  // Layering checks run only when a graph is supplied (the driver refuses
+  // to run without one; tests exercise rule families independently).
+  const LayerGraph* layers = nullptr;
+};
+
+// `companion` is the sibling header's content when linting a foo.cpp with a
+// foo.h next to it (member container declarations live there); empty
+// otherwise.
+FileReport lintSource(const std::string& path, std::string_view content,
+                      std::string_view companion, const LintOptions& options);
+
+struct Totals {
+  int files = 0;
+  int findings = 0;      // total, suppressed included
+  int unsuppressed = 0;  // what the exit code keys on
+  int suppressed = 0;
+  int suppressions_unused = 0;
+};
+
+Totals totalsOf(const std::vector<FileReport>& reports);
+
+// Human text: one `file:line: [rule] message` per unsuppressed finding plus
+// a summary line. JSON: the full structured dump, suppressed findings and
+// per-file counters included.
+std::string renderText(const std::vector<FileReport>& reports);
+std::string renderJson(const std::vector<FileReport>& reports);
+
+}  // namespace sc::lint

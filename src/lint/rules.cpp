@@ -1,0 +1,360 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sc::lint {
+
+namespace {
+
+// Code-token view: rules never want to see comments.
+std::vector<const Token*> codeView(const std::vector<Token>& toks) {
+  std::vector<const Token*> code;
+  code.reserve(toks.size());
+  for (const Token& t : toks)
+    if (isCode(t)) code.push_back(&t);
+  return code;
+}
+
+bool is(const Token* t, TokKind kind, std::string_view text) {
+  return t != nullptr && t->kind == kind && t->text == text;
+}
+
+bool isIdent(const Token* t, std::string_view text) {
+  return is(t, TokKind::kIdentifier, text);
+}
+
+bool isPunct(const Token* t, std::string_view text) {
+  return is(t, TokKind::kPunct, text);
+}
+
+const Token* at(const std::vector<const Token*>& code, std::size_t i) {
+  return i < code.size() ? code[i] : nullptr;
+}
+
+// Skips a balanced template argument list starting at code[i] == '<'.
+// Returns the index one past the closing '>', or code.size() if unbalanced.
+// The lexer emits '>' singly (no '>>' token), so depth bookkeeping is flat.
+std::size_t skipAngles(const std::vector<const Token*>& code, std::size_t i) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (isPunct(code[i], "<")) ++depth;
+    if (isPunct(code[i], ">") && --depth == 0) return i + 1;
+    // Parenthesised comparisons inside template args would confuse the
+    // count; none of the rules need to survive that, so bail out.
+    if (isPunct(code[i], ";")) break;
+  }
+  return code.size();
+}
+
+// Collects variable names declared as std::unordered_{map,set} in this
+// token stream: `unordered_map<...> a_, b_;` yields {a_, b_}. Heuristic by
+// design (aliases hide, macros hide) — good enough to catch the pattern the
+// determinism tests care about, cheap enough to run on every file.
+void collectUnorderedDecls(const std::vector<Token>& toks,
+                           std::set<std::string>& names) {
+  const auto code = codeView(toks);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!isIdent(code[i], "unordered_map") &&
+        !isIdent(code[i], "unordered_set"))
+      continue;
+    if (!isPunct(at(code, i + 1), "<")) continue;
+    std::size_t j = skipAngles(code, i + 1);
+    if (j >= code.size()) continue;
+    if (isPunct(at(code, j), "::")) continue;  // ...<>::iterator etc.
+    // Declarator list: identifiers separated by ',', ignoring '*'/'&',
+    // until a statement/initializer boundary.
+    for (; j < code.size(); ++j) {
+      const Token* t = code[j];
+      if (t->kind == TokKind::kIdentifier) {
+        names.insert(t->text);
+        continue;
+      }
+      if (isPunct(t, ",") || isPunct(t, "*") || isPunct(t, "&")) continue;
+      break;  // ';', '=', '{', '(' ... end of declarators
+    }
+  }
+}
+
+// If the token range [begin, end) is a plain object path — `name`,
+// `obj.name`, `ptr->name`, `ns::name`, optionally prefixed by '*'/'&' —
+// returns the final identifier; otherwise "".
+std::string pathTail(const std::vector<const Token*>& code, std::size_t begin,
+                     std::size_t end) {
+  std::string tail;
+  bool want_ident = true;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token* t = code[i];
+    if (want_ident && tail.empty() &&
+        (isPunct(t, "*") || isPunct(t, "&")))
+      continue;
+    if (want_ident) {
+      if (t->kind != TokKind::kIdentifier) return "";
+      tail = t->text;
+      want_ident = false;
+      continue;
+    }
+    if (isPunct(t, ".") || isPunct(t, "->") || isPunct(t, "::")) {
+      want_ident = true;
+      continue;
+    }
+    return "";  // call, subscript, arithmetic — not a plain path
+  }
+  return want_ident ? "" : tail;
+}
+
+// True when `ident(` at code[i] reads like a call of the C library function
+// rather than a member call, qualified call of another namespace, or a
+// declaration `Type ident(...)`.
+bool looksLikeBareCall(const std::vector<const Token*>& code, std::size_t i) {
+  if (!isPunct(at(code, i + 1), "(")) return false;
+  if (i == 0) return true;
+  const Token* prev = code[i - 1];
+  if (isPunct(prev, ".") || isPunct(prev, "->")) return false;
+  if (isPunct(prev, "::")) {
+    // std::time(...) is the libc call; any other qualifier is a different
+    // function that happens to share the name.
+    return i >= 2 && isIdent(code[i - 2], "std");
+  }
+  // `Time time(...)` / `int rand(...)` are declarations; `return time(0)`
+  // is a call.
+  if (prev->kind == TokKind::kIdentifier)
+    return prev->text == "return" || prev->text == "co_return";
+  if (isPunct(prev, ">") || isPunct(prev, "*") || isPunct(prev, "&"))
+    return false;  // tail of a declarator type
+  return true;
+}
+
+void add(std::vector<RawFinding>& out, std::string rule, int line,
+         std::string message) {
+  out.push_back(RawFinding{std::move(rule), line, std::move(message)});
+}
+
+}  // namespace
+
+const std::vector<Rule>& ruleTable() {
+  static const std::vector<Rule> kRules = {
+      {"det-wallclock", "determinism",
+       "wall-clock read (system_clock/steady_clock/time()/...); simulated "
+       "behaviour must use sim::Simulator time"},
+      {"det-rand", "determinism",
+       "unseeded randomness (rand()/std::random_device/...); all randomness "
+       "must flow through sim::Rng"},
+      {"det-unordered-iter", "determinism",
+       "range-for over an unordered container; iteration order is "
+       "hash/ASLR-dependent"},
+      {"det-pointer-key", "determinism",
+       "ordered container keyed by pointer; ordering follows allocation "
+       "addresses"},
+      {"det-pointer-format", "determinism",
+       // sclint:allow(det-pointer-format) the rule's own description names the conversion it bans
+       "%p in a format string; pointer values differ across runs"},
+      {"layer-violation", "layering",
+       "include edge not permitted by the module DAG in lint/layers.conf"},
+      {"layer-unknown-module", "layering",
+       "include of a module not declared in lint/layers.conf"},
+      {"hyg-assert-side-effect", "hygiene",
+       "assert() argument contains ++/--/=; the side effect vanishes under "
+       "NDEBUG"},
+      {"hyg-using-namespace-header", "hygiene",
+       "using namespace at header scope leaks into every includer"},
+      {"allow-missing-reason", "meta",
+       "sclint:allow() without a reason string; every suppression must say "
+       "why"},
+      {"allow-unknown-rule", "meta",
+       "sclint:allow() of a rule id that does not exist"},
+  };
+  return kRules;
+}
+
+bool isKnownRule(const std::string& id) {
+  const auto& rules = ruleTable();
+  return std::any_of(rules.begin(), rules.end(),
+                     [&](const Rule& r) { return r.id == id; });
+}
+
+std::string moduleOf(const std::string& path) {
+  // Last "src/" path component wins, so "/root/repo/src/gfw/gfw.cpp" and
+  // "src/gfw/gfw.h" both map to "gfw".
+  std::size_t best = std::string::npos;
+  for (std::size_t p = path.find("src/"); p != std::string::npos;
+       p = path.find("src/", p + 1)) {
+    if (p == 0 || path[p - 1] == '/') best = p;
+  }
+  if (best == std::string::npos) return "";
+  const std::size_t mod_begin = best + 4;
+  const std::size_t mod_end = path.find('/', mod_begin);
+  if (mod_end == std::string::npos) return "";  // file directly under src/
+  return path.substr(mod_begin, mod_end - mod_begin);
+}
+
+void checkDeterminism(const std::vector<Token>& toks,
+                      const std::vector<Token>& companion,
+                      std::vector<RawFinding>& out) {
+  std::set<std::string> unordered_names;
+  collectUnorderedDecls(toks, unordered_names);
+  collectUnorderedDecls(companion, unordered_names);
+
+  const auto code = codeView(toks);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* t = code[i];
+    if (t->kind == TokKind::kString) {
+      // sclint:allow(det-pointer-format) the detector must spell the pattern it detects
+      if (t->text.find("%p") != std::string::npos) {
+        add(out, "det-pointer-format", t->line,
+            // sclint:allow(det-pointer-format) the detector must spell the pattern it detects
+            "format string contains %p; pointer text is ASLR-dependent");
+      }
+      continue;
+    }
+    if (t->kind != TokKind::kIdentifier) continue;
+
+    // ---- wall clock ----
+    if (t->text == "system_clock" || t->text == "steady_clock" ||
+        t->text == "high_resolution_clock") {
+      add(out, "det-wallclock", t->line,
+          "std::chrono::" + t->text + " reads the wall clock");
+      continue;
+    }
+    if ((t->text == "gettimeofday" || t->text == "clock_gettime" ||
+         t->text == "timespec_get" || t->text == "localtime" ||
+         t->text == "gmtime" || t->text == "strftime") &&
+        isPunct(at(code, i + 1), "(")) {
+      add(out, "det-wallclock", t->line,
+          t->text + "() reads the wall clock");
+      continue;
+    }
+    if ((t->text == "time" || t->text == "clock") &&
+        looksLikeBareCall(code, i)) {
+      add(out, "det-wallclock", t->line,
+          t->text + "() reads the wall clock");
+      continue;
+    }
+
+    // ---- randomness ----
+    if (t->text == "random_device") {
+      add(out, "det-rand", t->line,
+          "std::random_device is nondeterministic; seed through sim::Rng");
+      continue;
+    }
+    if ((t->text == "rand" || t->text == "srand" || t->text == "drand48" ||
+         t->text == "srandom" || t->text == "random") &&
+        looksLikeBareCall(code, i)) {
+      add(out, "det-rand", t->line,
+          t->text + "() bypasses sim::Rng");
+      continue;
+    }
+
+    // ---- pointer-keyed ordered containers ----
+    if ((t->text == "map" || t->text == "set" || t->text == "multimap" ||
+         t->text == "multiset") &&
+        i >= 2 && isPunct(code[i - 1], "::") && isIdent(code[i - 2], "std") &&
+        isPunct(at(code, i + 1), "<")) {
+      int depth = 0;
+      const Token* last = nullptr;
+      for (std::size_t j = i + 1; j < code.size(); ++j) {
+        if (isPunct(code[j], "<")) {
+          ++depth;
+          continue;
+        }
+        if (isPunct(code[j], ">") && --depth == 0) break;
+        if (depth == 1 && isPunct(code[j], ",")) break;
+        if (depth >= 1) last = code[j];
+      }
+      if (isPunct(last, "*")) {
+        add(out, "det-pointer-key", t->line,
+            "std::" + t->text +
+                " keyed by a pointer orders by allocation address");
+      }
+      continue;
+    }
+
+    // ---- range-for over an unordered container ----
+    if (t->text == "for" && isPunct(at(code, i + 1), "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < code.size(); ++j) {
+        if (isPunct(code[j], "(")) ++depth;
+        if (isPunct(code[j], ")") && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (depth == 1 && colon == 0 && isPunct(code[j], ":")) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      const std::string name = pathTail(code, colon + 1, close);
+      if (!name.empty() && unordered_names.count(name) != 0) {
+        add(out, "det-unordered-iter", t->line,
+            "range-for over unordered container '" + name +
+                "'; iteration order is hash-dependent");
+      }
+    }
+  }
+}
+
+void checkLayering(const std::string& path, const std::vector<Token>& toks,
+                   const LayerGraph& layers, std::vector<RawFinding>& out) {
+  const std::string module = moduleOf(path);
+  if (module.empty()) return;  // tests/bench/tools/examples: all layers ok
+  if (!layers.knows(module)) {
+    add(out, "layer-unknown-module", 1,
+        "module '" + module + "' is not declared in lint/layers.conf");
+    return;
+  }
+  const auto code = codeView(toks);
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!isPunct(code[i], "#") || !isIdent(code[i + 1], "include")) continue;
+    const Token* name = code[i + 2];
+    if (name->kind != TokKind::kString) continue;  // <...> system headers
+    std::string inc = name->text;
+    if (inc.size() >= 2) inc = inc.substr(1, inc.size() - 2);  // strip quotes
+    const std::size_t slash = inc.find('/');
+    if (slash == std::string::npos) continue;  // local header, no module
+    const std::string dep = inc.substr(0, slash);
+    if (dep == module) continue;
+    if (!layers.knows(dep)) {
+      add(out, "layer-unknown-module", name->line,
+          "include \"" + inc + "\": module '" + dep +
+              "' is not declared in lint/layers.conf");
+    } else if (!layers.permits(module, dep)) {
+      add(out, "layer-violation", name->line,
+          "module '" + module + "' may not include from '" + dep +
+              "' (not reachable in the layer DAG)");
+    }
+  }
+}
+
+void checkHygiene(const std::string& path, const std::vector<Token>& toks,
+                  std::vector<RawFinding>& out) {
+  const bool is_header = endsWith(path, ".h") || endsWith(path, ".hpp") ||
+                         endsWith(path, ".hh");
+  const auto code = codeView(toks);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token* t = code[i];
+    if (is_header && isIdent(t, "using") &&
+        isIdent(at(code, i + 1), "namespace")) {
+      add(out, "hyg-using-namespace-header", t->line,
+          "using namespace in a header leaks into every translation unit");
+      continue;
+    }
+    if (isIdent(t, "assert") && isPunct(at(code, i + 1), "(")) {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < code.size(); ++j) {
+        if (isPunct(code[j], "(")) ++depth;
+        if (isPunct(code[j], ")") && --depth == 0) break;
+        if (isPunct(code[j], "++") || isPunct(code[j], "--") ||
+            isPunct(code[j], "=")) {
+          add(out, "hyg-assert-side-effect", t->line,
+              "assert() argument mutates state; the mutation disappears "
+              "under NDEBUG");
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sc::lint

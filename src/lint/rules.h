@@ -1,0 +1,62 @@
+// sclint's rule table: three families, each rule a stable id that
+// allow-suppressions and JSON output key on.
+//
+//   determinism  det-wallclock        wall-clock reads outside sim time
+//                det-rand             RNG outside sim::Rng
+//                det-unordered-iter   range-for over unordered containers
+//                det-pointer-key      ordered containers keyed by pointer
+//                det-pointer-format   %p / pointer text in emitted output
+//   layering     layer-violation      include crosses the module DAG
+//                layer-unknown-module include of an undeclared module
+//   hygiene      hyg-assert-side-effect   ++/--/= inside assert()
+//                hyg-using-namespace-header  using namespace in a header
+//
+// Meta findings about the suppressions themselves (never suppressible —
+// suppressing the suppression police would be circular):
+//                allow-missing-reason sclint:allow with no justification
+//                allow-unknown-rule   sclint:allow of a nonexistent rule id
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/layers.h"
+#include "lint/lexer.h"
+
+namespace sc::lint {
+
+struct Rule {
+  std::string id;
+  std::string family;  // "determinism" | "layering" | "hygiene" | "meta"
+  std::string summary;
+};
+
+// The full table, stable order (documentation, --list-rules, tests).
+const std::vector<Rule>& ruleTable();
+bool isKnownRule(const std::string& id);
+
+// A raw finding before suppression matching.
+struct RawFinding {
+  std::string rule;
+  int line = 0;
+  std::string message;
+};
+
+// `path` decides file-kind behavior (header rules, module for layering);
+// `companion` is the matching header's tokens when linting a foo.cpp whose
+// foo.h lives beside it (member containers are declared there), empty
+// otherwise.
+void checkDeterminism(const std::vector<Token>& toks,
+                      const std::vector<Token>& companion,
+                      std::vector<RawFinding>& out);
+void checkLayering(const std::string& path, const std::vector<Token>& toks,
+                   const LayerGraph& layers, std::vector<RawFinding>& out);
+void checkHygiene(const std::string& path, const std::vector<Token>& toks,
+                  std::vector<RawFinding>& out);
+
+// Module a path belongs to for layering: "<...>/src/<module>/..." ->
+// "<module>", empty for anything not under a src/ directory (tests, bench,
+// tools and examples may include every layer).
+std::string moduleOf(const std::string& path);
+
+}  // namespace sc::lint

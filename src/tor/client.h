@@ -18,8 +18,8 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "http/socks.h"
 #include "tor/meek.h"
@@ -108,8 +108,11 @@ class TorClient {
   std::vector<HopCrypto> hops_;
   std::vector<Bytes> hop_keys_;  // pending key material per planned hop
 
-  std::unordered_map<std::uint16_t, AppStreamPtr> streams_;
-  std::unordered_map<std::uint16_t, std::function<void(bool)>> pending_begin_;
+  // std::map, not unordered: teardownCircuit() walks both of these firing
+  // user callbacks (remoteEnd, begin-failure), so iteration order reaches
+  // the event trace — ascending stream-id order keeps it deterministic.
+  std::map<std::uint16_t, AppStreamPtr> streams_;
+  std::map<std::uint16_t, std::function<void(bool)>> pending_begin_;
   std::uint16_t next_stream_id_ = 1;
 };
 

@@ -1,5 +1,8 @@
 #include "tor/relay.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "crypto/hmac.h"
 
 namespace sc::tor {
@@ -45,12 +48,20 @@ void TorRelay::acceptLink(transport::Stream::Ptr stream) {
     for (auto& cell : conn->reader.feed(data)) onCell(conn, std::move(cell));
   });
   conn->stream->setOnClose([this, conn] {
-    // Tear down every circuit referencing this link.
+    // Tear down every circuit referencing this link. The scan order over
+    // the hash map is irrelevant: the collected set is sorted by circuit id
+    // below, so teardown order (and the trace it produces) is stable.
     std::vector<CircuitPtr> doomed;
+    // sclint:allow(det-unordered-iter) collection only; doomed is sorted by circuit id before any side effect
     for (auto& [key, circuit] : circuits_) {
       if (circuit->in_conn == conn || circuit->out_conn == conn)
         doomed.push_back(circuit);
     }
+    std::sort(doomed.begin(), doomed.end(),
+              [](const CircuitPtr& a, const CircuitPtr& b) {
+                return std::tie(a->in_circ, a->out_circ) <
+                       std::tie(b->in_circ, b->out_circ);
+              });
     for (auto& circuit : doomed)
       destroyCircuit(circuit, circuit->in_conn != conn,
                      circuit->out_conn != nullptr && circuit->out_conn != conn);

@@ -6,6 +6,7 @@
 // role being a property of how the directory lists it and who connects.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,7 +73,9 @@ class TorRelay {
     HopCrypto crypto;
     ConnPtr out_conn;            // set once extended
     std::uint32_t out_circ = 0;
-    std::unordered_map<std::uint16_t, transport::Stream::Ptr> exit_streams;
+    // std::map, not unordered: destroyCircuit() walks this closing exit
+    // streams, and close order reaches the event trace.
+    std::map<std::uint16_t, transport::Stream::Ptr> exit_streams;
   };
   using CircuitPtr = std::shared_ptr<Circuit>;
 

@@ -1,0 +1,389 @@
+// sclint's own test suite: the lexer must not see code inside literals or
+// comments, the layer DAG must close/ reject correctly, and every rule
+// family must fire on a synthetic violation while staying silent on the
+// benign/suppressed twin.
+//
+// Note the deliberate string splicing ("%" "p", marker text built at
+// runtime): the synthetic sources below are linted *content*, but this file
+// itself is also linted by the lint_tree gate, and the banned spellings
+// must not appear in its own tokens.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/layers.h"
+#include "lint/lexer.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
+
+namespace sc::lint {
+namespace {
+
+// ------------------------------------------------------------------ helpers
+
+FileReport lintStr(const std::string& path, std::string_view src,
+                   std::string_view companion = {},
+                   const LayerGraph* layers = nullptr) {
+  LintOptions options;
+  options.layers = layers;
+  return lintSource(path, src, companion, options);
+}
+
+int countRule(const FileReport& r, std::string_view rule,
+              bool suppressed = false) {
+  return static_cast<int>(std::count_if(
+      r.findings.begin(), r.findings.end(), [&](const Finding& f) {
+        return f.rule == rule && f.suppressed == suppressed;
+      }));
+}
+
+// The annotation marker, assembled so this file's own tokens never contain
+// it (the lint_tree gate lints this file too).
+std::string allow(const std::string& rule, const std::string& reason) {
+  return std::string("// sclint") + ":allow(" + rule + ") " + reason;
+}
+
+// -------------------------------------------------------------------- lexer
+
+TEST(LintLexer, TokenizesIdentifiersAndMultiCharPunct) {
+  const auto toks = lex("a->b::c != d");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[1].text, "->");
+  EXPECT_EQ(toks[3].text, "::");
+  EXPECT_EQ(toks[5].text, "!=");
+}
+
+TEST(LintLexer, BannedTokenInsideStringDoesNotFire) {
+  const auto r = lintStr("src/x/a.cpp",
+                         "auto s = \"call steady_clock and rand() now\";");
+  EXPECT_EQ(countRule(r, "det-wallclock"), 0);
+  EXPECT_EQ(countRule(r, "det-rand"), 0);
+}
+
+TEST(LintLexer, BannedTokenInsideRawStringDoesNotFire) {
+  const std::string src =
+      "auto s = R\"(std::chrono::steady_clock::now(); \" still string)\";\n"
+      "int x = 0;";
+  const auto toks = lex(src);
+  // The raw string is one token; the quote inside it did not end it.
+  const auto it = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokKind::kString;
+  });
+  ASSERT_NE(it, toks.end());
+  EXPECT_NE(it->text.find("steady_clock"), std::string::npos);
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", src), "det-wallclock"), 0);
+}
+
+TEST(LintLexer, RawStringWithDelimiterTerminatesAtExactDelimiter) {
+  const std::string src = "auto s = R\"ab( )\" not done )ab\"; int x;";
+  const auto toks = lex(src);
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_NE(toks[3].text.find("not done"), std::string::npos);
+  EXPECT_EQ(toks[toks.size() - 2].text, "x");
+}
+
+TEST(LintLexer, BlockCommentsFollowStandardNonNestingRules) {
+  // The inner /* is comment text; code resumes after the FIRST */ like the
+  // compiler says, and the banned call inside the comment never fires.
+  const std::string src = "/* outer /* inner */ int after = rarely();";
+  const auto toks = lex(src);
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].text, "int");
+  const std::string commented = "/* srand(1); */ int ok = 0;";
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", commented), "det-rand"), 0);
+}
+
+TEST(LintLexer, LineCommentRunsToNewlineOnly) {
+  const auto toks = lex("// drand48() here\nint live;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(LintLexer, IncludeAngleHeaderIsOneToken) {
+  const auto toks = lex("#include <net/address.h>\nint x;");
+  const auto it = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokKind::kHeader;
+  });
+  ASSERT_NE(it, toks.end());
+  EXPECT_EQ(it->text, "<net/address.h>");
+}
+
+TEST(LintLexer, ComparisonAfterQuotedIncludeIsNotAHeader) {
+  const auto toks = lex("#include \"a.h\"\nbool y = 1 < 2;");
+  EXPECT_TRUE(std::none_of(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokKind::kHeader;
+  }));
+}
+
+TEST(LintLexer, EscapedQuotesStayInsideString) {
+  const auto toks = lex(R"(auto s = "a \" b"; int z;)");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[4].text, ";");
+}
+
+// ------------------------------------------------------------------- layers
+
+constexpr std::string_view kConf = R"(
+# tiny DAG for tests
+util:
+sim: util
+net: sim
+gfw: net
+)";
+
+TEST(LintLayers, ClosureIsTransitive) {
+  const LayerGraph g = parseLayersConf(kConf);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.permits("gfw", "util"));   // via net -> sim -> util
+  EXPECT_TRUE(g.permits("gfw", "gfw"));    // self always legal
+  EXPECT_FALSE(g.permits("util", "sim"));  // edges are directed
+  EXPECT_FALSE(g.permits("sim", "net"));
+  EXPECT_TRUE(g.knows("net"));
+  EXPECT_FALSE(g.knows("tor"));
+}
+
+TEST(LintLayers, CycleIsAParseError) {
+  const LayerGraph g = parseLayersConf("a: b\nb: c\nc: a\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.errors[0].find("cycle"), std::string::npos);
+}
+
+TEST(LintLayers, UndeclaredDependencyIsAParseError) {
+  const LayerGraph g = parseLayersConf("a: ghost\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.errors[0].find("undeclared"), std::string::npos);
+}
+
+TEST(LintLayers, DuplicateAndMalformedLinesAreErrors) {
+  EXPECT_FALSE(parseLayersConf("a:\na:\n").ok());
+  EXPECT_FALSE(parseLayersConf("just words\n").ok());
+  EXPECT_FALSE(parseLayersConf("a: a\n").ok());
+}
+
+TEST(LintLayering, ViolationAndUnknownModuleFire) {
+  const LayerGraph g = parseLayersConf(kConf);
+  ASSERT_TRUE(g.ok());
+  const auto bad = lintStr("src/sim/clock.cpp", "#include \"gfw/gfw.h\"\n",
+                           {}, &g);
+  EXPECT_EQ(countRule(bad, "layer-violation"), 1);
+  const auto unknown = lintStr("src/net/a.cpp", "#include \"tor/client.h\"\n",
+                               {}, &g);
+  EXPECT_EQ(countRule(unknown, "layer-unknown-module"), 1);
+}
+
+TEST(LintLayering, LegalEdgesAndNonSrcFilesStaySilent) {
+  const LayerGraph g = parseLayersConf(kConf);
+  ASSERT_TRUE(g.ok());
+  const std::string down =
+      "#include \"net/link.h\"\n#include \"gfw/config.h\"\n"
+      "#include <vector>\n#include \"util/bytes.h\"\n";
+  EXPECT_TRUE(lintStr("src/gfw/gfw.cpp", down, {}, &g).findings.empty());
+  // tests/ and bench/ may reach across every layer.
+  const std::string up = "#include \"gfw/gfw.h\"\n#include \"sim/rng.h\"\n";
+  EXPECT_TRUE(lintStr("tests/test_gfw.cpp", up, {}, &g).findings.empty());
+  EXPECT_EQ(moduleOf("bench/bench_fig7.cpp"), "");
+  EXPECT_EQ(moduleOf("/root/repo/src/gfw/gfw.cpp"), "gfw");
+}
+
+// -------------------------------------------------------- determinism rules
+
+TEST(LintDeterminism, WallClockFires) {
+  const auto r = lintStr(
+      "src/x/a.cpp",
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto u = time(nullptr);\n");
+  EXPECT_EQ(countRule(r, "det-wallclock"), 2);
+}
+
+TEST(LintDeterminism, SimTimeLookalikesStaySilent) {
+  const auto r = lintStr("src/x/a.cpp",
+                         "auto a = sim.time();\n"        // member call
+                         "sim::Time time(int code);\n"   // declaration
+                         "auto b = stack->clock();\n");  // member call
+  EXPECT_EQ(countRule(r, "det-wallclock"), 0);
+}
+
+TEST(LintDeterminism, RandFiresAndRngStaysSilent) {
+  const auto bad = lintStr("src/x/a.cpp",
+                           "int a = rand();\n"
+                           "std::random_device rd;\n");
+  EXPECT_EQ(countRule(bad, "det-rand"), 2);
+  const auto good = lintStr("src/x/a.cpp",
+                            "sim::Rng rng(7);\n"
+                            "auto v = rng.uniform01();\n"
+                            "auto w = obj.rand();\n");
+  EXPECT_EQ(countRule(good, "det-rand"), 0);
+}
+
+TEST(LintDeterminism, UnorderedRangeForFiresWhenDeclaredInFile) {
+  const std::string src =
+      "std::unordered_map<int, int> counts_;\n"
+      "void f() { for (const auto& [k, v] : counts_) use(k, v); }\n";
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", src), "det-unordered-iter"), 1);
+}
+
+TEST(LintDeterminism, UnorderedRangeForSeesCompanionHeaderDecls) {
+  const std::string header = "class C {\n std::unordered_set<int> live_;\n};";
+  const std::string cpp = "void C::f() { for (int id : live_) emit(id); }\n";
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", cpp, header),
+                      "det-unordered-iter"),
+            1);
+  // Without the header the declaration is invisible — heuristic boundary.
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", cpp), "det-unordered-iter"), 0);
+}
+
+TEST(LintDeterminism, OrderedRangeForStaysSilent) {
+  const std::string src =
+      "std::map<int, int> counts_;\n"
+      "std::unordered_map<int, int> other_;\n"
+      "void f() { for (const auto& [k, v] : counts_) use(k, v); }\n"
+      "void g() { for (auto& x : makeList()) use(x); }\n";  // call, not a path
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", src), "det-unordered-iter"), 0);
+}
+
+TEST(LintDeterminism, MemberPathRangeForFires) {
+  const std::string src =
+      "std::unordered_map<int, W> streams_;\n"
+      "void f(S* self) { for (auto& [id, w] : self->streams_) w.close(); }\n";
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", src), "det-unordered-iter"), 1);
+}
+
+TEST(LintDeterminism, PointerKeyedOrderedContainerFires) {
+  const auto bad =
+      lintStr("src/x/a.h", "std::map<const Node*, Link*> access_;\n");
+  EXPECT_EQ(countRule(bad, "det-pointer-key"), 1);
+  const auto good = lintStr("src/x/a.h",
+                            "std::map<int, Link*> by_id_;\n"
+                            "std::set<std::string> names_;\n");
+  EXPECT_EQ(countRule(good, "det-pointer-key"), 0);
+}
+
+TEST(LintDeterminism, PointerFormatFires) {
+  const std::string src =
+      std::string("auto s = \"addr=%") + "p\";\n" +
+      "auto t = \"100% plain\";\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  EXPECT_EQ(countRule(r, "det-pointer-format"), 1);
+}
+
+// ------------------------------------------------------------ hygiene rules
+
+TEST(LintHygiene, AssertWithSideEffectFires) {
+  const auto r = lintStr("src/x/a.cpp",
+                         "void f() { assert(n = compute()); }\n"
+                         "void g() { assert(++hits < max); }\n");
+  EXPECT_EQ(countRule(r, "hyg-assert-side-effect"), 2);
+}
+
+TEST(LintHygiene, PureAssertStaysSilent) {
+  const auto r = lintStr("src/x/a.cpp",
+                         "void f() { assert(n == 3 && m <= k); }\n"
+                         "void g() { assert(isSorted(v)); }\n");
+  EXPECT_EQ(countRule(r, "hyg-assert-side-effect"), 0);
+}
+
+TEST(LintHygiene, UsingNamespaceFiresOnlyInHeaders) {
+  const std::string src = "using namespace std;\n";
+  EXPECT_EQ(countRule(lintStr("src/x/a.h", src),
+                      "hyg-using-namespace-header"),
+            1);
+  EXPECT_EQ(countRule(lintStr("src/x/a.cpp", src),
+                      "hyg-using-namespace-header"),
+            0);
+}
+
+// ------------------------------------------------------------- suppressions
+
+TEST(LintSuppress, TrailingAllowSuppressesAndIsCounted) {
+  const std::string src = "int a = rand();  " +
+                          allow("det-rand", "seed scrambling for the demo") +
+                          "\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/true), 1);
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/false), 0);
+  EXPECT_EQ(r.suppressions, 1);
+  EXPECT_EQ(r.suppressions_unused, 0);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].reason, "seed scrambling for the demo");
+}
+
+TEST(LintSuppress, AllowOnLineAboveCovers) {
+  const std::string src =
+      allow("det-rand", "legacy shim") + "\nint a = rand();\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/true), 1);
+}
+
+TEST(LintSuppress, AllowDoesNotReachPastTheNextLine) {
+  const std::string src =
+      allow("det-rand", "too far away") + "\nint pad;\nint a = rand();\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/false), 1);
+  EXPECT_EQ(r.suppressions_unused, 1);
+}
+
+TEST(LintSuppress, WrongRuleIdDoesNotSuppress) {
+  const std::string src =
+      "int a = rand();  " + allow("det-wallclock", "wrong family") + "\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/false), 1);
+}
+
+TEST(LintSuppress, MissingReasonIsItsOwnFinding) {
+  const std::string src = "int a = rand();  " + allow("det-rand", "") + "\n";
+  const auto r = lintStr("src/x/a.cpp", src);
+  // The violation itself is suppressed, but the reasonless allow fails.
+  EXPECT_EQ(countRule(r, "det-rand", /*suppressed=*/true), 1);
+  EXPECT_EQ(countRule(r, "allow-missing-reason"), 1);
+}
+
+TEST(LintSuppress, UnknownRuleIdIsItsOwnFinding) {
+  const auto r = lintStr("src/x/a.cpp",
+                         allow("det-typo", "whatever") + "\nint x;\n");
+  EXPECT_EQ(countRule(r, "allow-unknown-rule"), 1);
+}
+
+// ------------------------------------------------------------------- output
+
+TEST(LintOutput, TotalsAndExitKeyOnUnsuppressed) {
+  const auto clean = lintStr("src/x/a.cpp", "int x = 0;\n");
+  const auto dirty = lintStr("src/x/b.cpp", "int a = rand();\n");
+  const Totals t = totalsOf({clean, dirty});
+  EXPECT_EQ(t.files, 2);
+  EXPECT_EQ(t.findings, 1);
+  EXPECT_EQ(t.unsuppressed, 1);
+  EXPECT_EQ(t.suppressed, 0);
+}
+
+TEST(LintOutput, TextNamesFileLineAndRule) {
+  const auto r = lintStr("src/x/b.cpp", "int pad;\nint a = rand();\n");
+  const std::string text = renderText({r});
+  EXPECT_NE(text.find("src/x/b.cpp:2: [det-rand]"), std::string::npos);
+  EXPECT_NE(text.find("1 unsuppressed"), std::string::npos);
+}
+
+TEST(LintOutput, JsonCarriesSuppressedFindingsAndReasons) {
+  const std::string src =
+      "int a = rand();  " + allow("det-rand", "why not") + "\n";
+  const std::string json = renderJson({lintStr("src/x/a.cpp", src)});
+  EXPECT_NE(json.find("\"suppressed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"why not\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"rules\": ["), std::string::npos);
+}
+
+TEST(LintRules, TableIsStableAndQueryable) {
+  EXPECT_TRUE(isKnownRule("det-wallclock"));
+  EXPECT_TRUE(isKnownRule("layer-violation"));
+  EXPECT_TRUE(isKnownRule("hyg-using-namespace-header"));
+  EXPECT_FALSE(isKnownRule("det-nope"));
+  EXPECT_GE(ruleTable().size(), 11u);
+}
+
+}  // namespace
+}  // namespace sc::lint

@@ -1,0 +1,149 @@
+// sclint — determinism & layering linter for this tree.
+//
+//   sclint [--json] [--layers lint/layers.conf] [--list-rules] PATH...
+//
+// PATHs are files or directories (recursed for *.h/*.cpp, skipping build*/
+// and hidden directories). Exit status: 0 clean, 1 unsuppressed findings,
+// 2 usage or I/O error. See DESIGN.md §8 for the rule table and the
+// suppression policy.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "util/strings.h"
+
+namespace fs = std::filesystem;
+using namespace sc;  // tool, not a library: brevity over hygiene
+
+namespace {
+
+bool readFile(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool lintableFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cpp" ||
+         ext == ".cc";
+}
+
+bool skippableDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.empty() || name[0] == '.' || startsWith(name, "build");
+}
+
+void collectFiles(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (lintableFile(root)) out.push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (fs::recursive_directory_iterator it(root), end; it != end; ++it) {
+    if (it->is_directory() && skippableDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintableFile(it->path()))
+      out.push_back(it->path());
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--layers FILE] [--list-rules] PATH...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string layers_path;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--layers") {
+      if (++i >= argc) return usage(argv[0]);
+      layers_path = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const lint::Rule& r : lint::ruleTable())
+        std::printf("%-28s %-12s %s\n", r.id.c_str(), r.family.c_str(),
+                    r.summary.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (startsWith(arg, "--")) {
+      return usage(argv[0]);
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  lint::LayerGraph layers;
+  lint::LintOptions options;
+  if (!layers_path.empty()) {
+    std::string conf;
+    if (!readFile(layers_path, conf)) {
+      std::fprintf(stderr, "sclint: cannot read %s\n", layers_path.c_str());
+      return 2;
+    }
+    layers = lint::parseLayersConf(conf);
+    if (!layers.ok()) {
+      for (const std::string& e : layers.errors)
+        std::fprintf(stderr, "sclint: %s\n", e.c_str());
+      return 2;
+    }
+    options.layers = &layers;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "sclint: no such path: %s\n", root.c_str());
+      return 2;
+    }
+    collectFiles(root, files);
+  }
+  std::sort(files.begin(), files.end());  // stable output across filesystems
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<lint::FileReport> reports;
+  reports.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!readFile(file, content)) {
+      std::fprintf(stderr, "sclint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    // Member containers iterated in foo.cpp are declared in foo.h; scan the
+    // sibling header alongside so det-unordered-iter sees the declarations.
+    std::string companion;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path header = file;
+      header.replace_extension(".h");
+      if (fs::exists(header)) readFile(header, companion);
+    }
+    reports.push_back(
+        lint::lintSource(file.generic_string(), content, companion, options));
+  }
+
+  const std::string rendered =
+      json ? lint::renderJson(reports) : lint::renderText(reports);
+  std::fputs(rendered.c_str(), stdout);
+  return lint::totalsOf(reports).unsuppressed > 0 ? 1 : 0;
+}
