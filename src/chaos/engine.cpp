@@ -1,0 +1,76 @@
+#include "chaos/engine.h"
+
+namespace sc::chaos {
+
+ChaosEngine::ChaosEngine(sim::Simulator& sim, ChaosScript script)
+    : sim_(sim), script_(std::move(script)) {
+  if (obs::Registry* reg = obs::registryOf(sim_)) {
+    c_applied_ = reg->counter("sc.chaos.faults_injected");
+    c_reverted_ = reg->counter("sc.chaos.faults_reverted");
+    c_unhandled_ = reg->counter("sc.chaos.faults_unhandled");
+  }
+}
+
+void ChaosEngine::addInjector(Injector* injector) {
+  if (injector != nullptr) injectors_.push_back(injector);
+}
+
+void ChaosEngine::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& ev : script_.events()) {
+    const int id = ev.id;
+    sim_.schedule(ev.at, [this, id] { fire(id); });
+    if (ev.duration > 0)
+      sim_.schedule(ev.at + ev.duration, [this, id] { lift(id); });
+  }
+}
+
+void ChaosEngine::fire(int id) {
+  const FaultEvent* ev = script_.find(id);
+  if (ev == nullptr) return;
+  for (Injector* injector : injectors_) {
+    if (!injector->handles(*ev)) continue;
+    if (injector->apply(*ev)) {
+      active_[id] = injector;
+      ++applied_;
+      if (c_applied_ != nullptr) c_applied_->inc();
+      trace("begin", *ev);
+    } else {
+      ++unhandled_;
+      if (c_unhandled_ != nullptr) c_unhandled_->inc();
+      trace("unhandled", *ev);
+    }
+    return;
+  }
+  ++unhandled_;
+  if (c_unhandled_ != nullptr) c_unhandled_->inc();
+  trace("unhandled", *ev);
+}
+
+void ChaosEngine::lift(int id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;  // never applied (unhandled) — nothing to undo
+  const FaultEvent* ev = script_.find(id);
+  if (ev == nullptr) return;
+  Injector* injector = it->second;
+  active_.erase(it);
+  injector->revert(*ev);
+  ++reverted_;
+  if (c_reverted_ != nullptr) c_reverted_->inc();
+  trace("end", *ev);
+}
+
+void ChaosEngine::trace(const char* what, const FaultEvent& ev) {
+  obs::Tracer* tracer = obs::tracerOf(sim_);
+  if (tracer == nullptr) return;
+  obs::Event out;
+  out.at = sim_.now();
+  out.type = obs::EventType::kChaosFault;
+  out.what = what;
+  out.detail = std::string(faultKindName(ev.kind)) + ":" + ev.target;
+  out.a = ev.id;
+  tracer->record(std::move(out));
+}
+
+}  // namespace sc::chaos

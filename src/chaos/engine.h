@@ -1,0 +1,57 @@
+// ChaosEngine: arms a ChaosScript against a Simulator. Each fault event is
+// scheduled at its start time; the first registered injector that claims it
+// applies it, and (for finite faults) the same injector reverts it at
+// at + duration. Every edge is traced (kChaosFault begin/end/unhandled) so
+// the RecoveryTracker — and the exported trace JSONL — see the exact fault
+// timeline the world experienced.
+//
+// The engine owns no world objects and does nothing until arm(); injectors
+// are borrowed and must outlive the simulation run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "chaos/injector.h"
+#include "obs/hub.h"
+#include "sim/simulator.h"
+
+namespace sc::chaos {
+
+class ChaosEngine {
+ public:
+  ChaosEngine(sim::Simulator& sim, ChaosScript script);
+
+  // Registration order is claim order (first handles() wins).
+  void addInjector(Injector* injector);
+
+  // Schedules every event. Call once, before (or during) the run.
+  void arm();
+
+  const ChaosScript& script() const noexcept { return script_; }
+  std::uint64_t applied() const noexcept { return applied_; }
+  std::uint64_t reverted() const noexcept { return reverted_; }
+  std::uint64_t unhandled() const noexcept { return unhandled_; }
+
+ private:
+  void fire(int id);
+  void lift(int id);
+  void trace(const char* what, const FaultEvent& ev);
+
+  sim::Simulator& sim_;
+  ChaosScript script_;
+  std::vector<Injector*> injectors_;
+  std::map<int, Injector*> active_;  // fault id -> injector that applied it
+  bool armed_ = false;
+  std::uint64_t applied_ = 0;
+  std::uint64_t reverted_ = 0;
+  std::uint64_t unhandled_ = 0;
+
+  obs::Counter* c_applied_ = nullptr;
+  obs::Counter* c_reverted_ = nullptr;
+  obs::Counter* c_unhandled_ = nullptr;
+};
+
+}  // namespace sc::chaos

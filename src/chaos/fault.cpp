@@ -1,0 +1,119 @@
+#include "chaos/fault.h"
+
+#include <algorithm>
+
+namespace sc::chaos {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kBlocklistWave: return "blocklist_wave";
+    case FaultKind::kDpiRamp: return "dpi_ramp";
+    case FaultKind::kProbingSurge: return "probing_surge";
+    case FaultKind::kDnsPoisonCampaign: return "dns_poison";
+    case FaultKind::kIpBan: return "ip_ban";
+  }
+  return "?";
+}
+
+int ChaosScript::add(FaultEvent ev) {
+  ev.id = next_id_++;
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.at != b.at ? a.at < b.at : a.id < b.id;
+      });
+  const int id = ev.id;
+  events_.insert(pos, std::move(ev));
+  return id;
+}
+
+int ChaosScript::linkDown(sim::Time at, std::string link, sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kLinkDown;
+  ev.target = std::move(link);
+  return add(std::move(ev));
+}
+
+int ChaosScript::linkDegrade(sim::Time at, std::string link, double loss_rate,
+                             sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kLinkDegrade;
+  ev.target = std::move(link);
+  ev.magnitude = loss_rate;
+  return add(std::move(ev));
+}
+
+int ChaosScript::nodeCrash(sim::Time at, std::string target,
+                           sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kNodeCrash;
+  ev.target = std::move(target);
+  return add(std::move(ev));
+}
+
+int ChaosScript::blocklistWave(sim::Time at, std::string domains,
+                               sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kBlocklistWave;
+  ev.target = std::move(domains);
+  return add(std::move(ev));
+}
+
+int ChaosScript::dpiRamp(sim::Time at, double magnitude,
+                         bool ban_vpn_protocols, sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kDpiRamp;
+  ev.magnitude = magnitude;
+  ev.arg = ban_vpn_protocols ? 1 : 0;
+  return add(std::move(ev));
+}
+
+int ChaosScript::probingSurge(sim::Time at, double magnitude,
+                              sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kProbingSurge;
+  ev.magnitude = magnitude;
+  return add(std::move(ev));
+}
+
+int ChaosScript::dnsPoison(sim::Time at, std::string target,
+                           sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kDnsPoisonCampaign;
+  ev.target = std::move(target);
+  return add(std::move(ev));
+}
+
+int ChaosScript::ipBan(sim::Time at, std::string target, sim::Time duration) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.duration = duration;
+  ev.kind = FaultKind::kIpBan;
+  ev.target = std::move(target);
+  return add(std::move(ev));
+}
+
+const FaultEvent* ChaosScript::find(int id) const {
+  for (const FaultEvent& ev : events_)
+    if (ev.id == id) return &ev;
+  return nullptr;
+}
+
+}  // namespace sc::chaos

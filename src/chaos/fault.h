@@ -1,0 +1,71 @@
+// Deterministic fault timeline: a ChaosScript is an ordered list of typed
+// fault events, each with a start time, an optional duration (0 = the fault
+// never lifts) and a target string the per-layer injectors interpret.
+//
+// Determinism contract: a script is plain data — no clocks, no randomness.
+// Two runs of the same world with the same seed and the same script produce
+// byte-identical traces, which is what makes recovery-time distributions
+// comparable across methods (the whole point of the chaos benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sc::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,          // target=link name: administrative blackhole
+  kLinkDegrade,       // target=link name: loss/delay override
+  kNodeCrash,         // target="fleet:<n>"|"fleet:any"|<dns server name>
+  kBlocklistWave,     // target=comma-separated domain suffixes
+  kDpiRamp,           // disciplines *= magnitude; arg!=0 also bans VPN protos
+  kProbingSurge,      // probe_delay /= magnitude, suspect TTL *= magnitude
+  kDnsPoisonCampaign, // target=domain suffixes (GFW) or "<server>:<name>"
+  kIpBan,             // target=dotted quad or symbolic ("egress")
+};
+
+const char* faultKindName(FaultKind kind);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  sim::Time duration = 0;  // 0 = permanent: the engine never reverts it
+  FaultKind kind = FaultKind::kLinkDown;
+  std::string target;
+  double magnitude = 1.0;  // kind-specific intensity (see enum comments)
+  std::int64_t arg = 0;    // kind-specific extra (see enum comments)
+  int id = -1;             // assigned by ChaosScript::add, dense from 0
+};
+
+// The timeline. Events are kept sorted by (at, id) — insertion order breaks
+// ties, so two faults scripted at the same instant fire in script order.
+class ChaosScript {
+ public:
+  // Returns the fault id (index into records/traces).
+  int add(FaultEvent ev);
+
+  // Convenience builders (all forward to add()).
+  int linkDown(sim::Time at, std::string link, sim::Time duration = 0);
+  int linkDegrade(sim::Time at, std::string link, double loss_rate,
+                  sim::Time duration = 0);
+  int nodeCrash(sim::Time at, std::string target, sim::Time duration = 0);
+  int blocklistWave(sim::Time at, std::string domains, sim::Time duration = 0);
+  int dpiRamp(sim::Time at, double magnitude, bool ban_vpn_protocols,
+              sim::Time duration = 0);
+  int probingSurge(sim::Time at, double magnitude, sim::Time duration = 0);
+  int dnsPoison(sim::Time at, std::string target, sim::Time duration = 0);
+  int ipBan(sim::Time at, std::string target, sim::Time duration = 0);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  const FaultEvent* find(int id) const;
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+  int next_id_ = 0;
+};
+
+}  // namespace sc::chaos

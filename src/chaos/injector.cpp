@@ -1,0 +1,210 @@
+#include "chaos/injector.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::chaos {
+
+namespace {
+
+// Domain-list targets are comma-separated suffix lists.
+std::vector<std::string> splitDomains(const std::string& target) {
+  std::vector<std::string> out;
+  for (const std::string& part : splitString(target, ',')) {
+    const auto trimmed = trimWhitespace(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- LinkInjector ----
+
+bool LinkInjector::handles(const FaultEvent& ev) const {
+  return ev.kind == FaultKind::kLinkDown ||
+         ev.kind == FaultKind::kLinkDegrade;
+}
+
+bool LinkInjector::apply(const FaultEvent& ev) {
+  net::Link* link = network_.findLink(ev.target);
+  if (link == nullptr) return false;
+  if (ev.kind == FaultKind::kLinkDown) {
+    link->setUp(false);
+    return true;
+  }
+  // Degrade: magnitude is the imposed random-loss rate, arg an extra
+  // propagation delay in milliseconds (a flapping or rerouted path).
+  saved_[ev.id] = link->params();
+  net::LinkParams& p = link->params();
+  p.loss_rate = std::clamp(ev.magnitude, 0.0, 1.0);
+  p.prop_delay += ev.arg * sim::kMillisecond;
+  return true;
+}
+
+void LinkInjector::revert(const FaultEvent& ev) {
+  net::Link* link = network_.findLink(ev.target);
+  if (link == nullptr) return;
+  if (ev.kind == FaultKind::kLinkDown) {
+    link->setUp(true);
+    return;
+  }
+  const auto it = saved_.find(ev.id);
+  if (it == saved_.end()) return;
+  link->params() = it->second;
+  saved_.erase(it);
+}
+
+// ---- GfwInjector ----
+
+bool GfwInjector::handles(const FaultEvent& ev) const {
+  switch (ev.kind) {
+    case FaultKind::kBlocklistWave:
+    case FaultKind::kDpiRamp:
+    case FaultKind::kProbingSurge:
+    case FaultKind::kIpBan:
+      return true;
+    case FaultKind::kDnsPoisonCampaign:
+      // "<server>:<name>" targets belong to a DnsInjector, bare suffix
+      // lists to the GFW's on-path poisoner.
+      return ev.target.find(':') == std::string::npos;
+    default:
+      return false;
+  }
+}
+
+bool GfwInjector::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kBlocklistWave: {
+      const auto domains = splitDomains(ev.target);
+      if (domains.empty()) return false;
+      for (const std::string& d : domains) gfw_.domains().add(d);
+      // Domain churn is policy churn too: fire the policy hook so worlds
+      // listening for escalation (probe collapse etc.) hear about it.
+      gfw_.mutatePolicy([](gfw::GfwConfig&) {});
+      return true;
+    }
+    case FaultKind::kDpiRamp: {
+      saved_config_[ev.id] = gfw_.config();
+      const double m = std::max(ev.magnitude, 0.0);
+      const bool ban_vpn = ev.arg != 0;
+      gfw_.mutatePolicy([m, ban_vpn](gfw::GfwConfig& c) {
+        c.tor_discipline = std::min(1.0, c.tor_discipline * m);
+        c.shadowsocks_discipline =
+            std::min(1.0, c.shadowsocks_discipline * m);
+        c.unknown_discipline = std::min(1.0, c.unknown_discipline * m);
+        if (ban_vpn) {
+          c.block_vpn_protocols = true;
+          c.vpn_block_discipline = std::min(1.0, c.vpn_block_discipline * m);
+        }
+      });
+      return true;
+    }
+    case FaultKind::kProbingSurge: {
+      saved_config_[ev.id] = gfw_.config();
+      const double m = std::max(ev.magnitude, 1.0);
+      gfw_.mutatePolicy([m](gfw::GfwConfig& c) {
+        c.probe_delay = std::max<sim::Time>(
+            sim::kMillisecond,
+            static_cast<sim::Time>(static_cast<double>(c.probe_delay) / m));
+        c.suspect_block_ttl = static_cast<sim::Time>(
+            static_cast<double>(c.suspect_block_ttl) * m);
+      });
+      return true;
+    }
+    case FaultKind::kDnsPoisonCampaign: {
+      const auto domains = splitDomains(ev.target);
+      if (domains.empty()) return false;
+      saved_config_[ev.id] = gfw_.config();
+      for (const std::string& d : domains) gfw_.domains().add(d);
+      gfw_.mutatePolicy([](gfw::GfwConfig& c) { c.dns_poisoning = true; });
+      return true;
+    }
+    case FaultKind::kIpBan: {
+      std::optional<net::Ipv4> ip = net::Ipv4::parse(ev.target);
+      if (!ip.has_value() && resolve_) ip = resolve_(ev.target);
+      if (!ip.has_value()) return false;
+      banned_[ev.id] = *ip;
+      // Permanent entry; the engine's revert (below) is the lift. Finite
+      // script durations therefore behave like suspect-list expiry with an
+      // explicit churn notification on both edges.
+      gfw_.ips().add(*ip);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void GfwInjector::revert(const FaultEvent& ev) {
+  if (ev.kind == FaultKind::kIpBan) {
+    const auto it = banned_.find(ev.id);
+    if (it == banned_.end()) return;
+    gfw_.ips().remove(it->second);
+    banned_.erase(it);
+    return;
+  }
+  if (ev.kind == FaultKind::kBlocklistWave ||
+      ev.kind == FaultKind::kDnsPoisonCampaign) {
+    for (const std::string& d : splitDomains(ev.target))
+      gfw_.domains().remove(d);
+  }
+  const auto it = saved_config_.find(ev.id);
+  if (it != saved_config_.end()) {
+    const gfw::GfwConfig snapshot = it->second;
+    saved_config_.erase(it);
+    gfw_.mutatePolicy([&snapshot](gfw::GfwConfig& c) { c = snapshot; });
+  } else if (ev.kind == FaultKind::kBlocklistWave) {
+    gfw_.mutatePolicy([](gfw::GfwConfig&) {});
+  }
+}
+
+// ---- FleetInjector ----
+
+bool FleetInjector::handles(const FaultEvent& ev) const {
+  return ev.kind == FaultKind::kNodeCrash &&
+         startsWith(ev.target, "fleet:");
+}
+
+bool FleetInjector::apply(const FaultEvent& ev) {
+  const std::string which = ev.target.substr(6);
+  if (which == "any") return fleet_.crashEndpoint(-1);
+  if (which.empty()) return false;
+  int id = 0;
+  for (const char c : which) {
+    if (c < '0' || c > '9') return false;
+    id = id * 10 + (c - '0');
+  }
+  return fleet_.crashEndpoint(id);
+}
+
+// ---- DnsInjector ----
+
+bool DnsInjector::handles(const FaultEvent& ev) const {
+  if (ev.kind == FaultKind::kNodeCrash) return ev.target == name_;
+  if (ev.kind == FaultKind::kDnsPoisonCampaign)
+    return startsWith(ev.target, name_ + ":");
+  return false;
+}
+
+bool DnsInjector::apply(const FaultEvent& ev) {
+  if (ev.kind == FaultKind::kNodeCrash) {
+    server_.setAnswering(false);
+    return true;
+  }
+  const std::string host = ev.target.substr(name_.size() + 1);
+  if (host.empty()) return false;
+  server_.poison(host, kChaosSinkhole);
+  return true;
+}
+
+void DnsInjector::revert(const FaultEvent& ev) {
+  if (ev.kind == FaultKind::kNodeCrash) {
+    server_.setAnswering(true);
+    return;
+  }
+  server_.unpoison(ev.target.substr(name_.size() + 1));
+}
+
+}  // namespace sc::chaos

@@ -1,0 +1,120 @@
+// Per-layer fault injectors. The ChaosEngine walks its injector list in
+// registration order and hands each fault to the first injector that claims
+// it (handles() == true); the same injector later reverts it. An injector
+// owns the undo state for every fault it applied — saved link params, saved
+// GFW config snapshots, resolved banned IPs — keyed by fault id, so
+// overlapping faults of the same kind revert independently.
+//
+// Targets are strings on purpose: scripts stay world-agnostic ("transpacific",
+// "egress", "fleet:any") and each world binds them at injector construction
+// time (Network lookups, an egress-IP resolver closure, a DnsServer&).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "chaos/fault.h"
+#include "dns/server.h"
+#include "fleet/fleet.h"
+#include "gfw/gfw.h"
+#include "net/network.h"
+
+namespace sc::chaos {
+
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  // Static layer label for traces/diagnostics ("net", "gfw", ...).
+  virtual const char* layer() const = 0;
+  // True if this injector understands (kind, target). Cheap; no side effects.
+  virtual bool handles(const FaultEvent& ev) const = 0;
+  // Inject the fault. False = claimed but inapplicable in this world (e.g.
+  // the named link does not exist); the engine traces it as unhandled.
+  virtual bool apply(const FaultEvent& ev) = 0;
+  // Undo a previously applied fault. Never called for permanent faults.
+  virtual void revert(const FaultEvent& ev) = 0;
+};
+
+// kLinkDown / kLinkDegrade against net::Link by factory name.
+class LinkInjector final : public Injector {
+ public:
+  explicit LinkInjector(net::Network& network) : network_(network) {}
+
+  const char* layer() const override { return "net"; }
+  bool handles(const FaultEvent& ev) const override;
+  bool apply(const FaultEvent& ev) override;
+  void revert(const FaultEvent& ev) override;
+
+ private:
+  net::Network& network_;
+  std::map<int, net::LinkParams> saved_;  // degrade undo state by fault id
+};
+
+// GFW policy faults: blocklist waves, DPI ramps, probing surges, border DNS
+// poisoning campaigns and endpoint IP bans. Policy faults snapshot the whole
+// GfwConfig at apply time and restore it at revert — overlapping policy
+// faults therefore un-nest in script order (last revert wins), which is the
+// deterministic reading of "the escalation wave subsides".
+class GfwInjector final : public Injector {
+ public:
+  // Resolves symbolic kIpBan targets ("egress") to a concrete address at
+  // fire time; dotted-quad targets bypass it. Return nullopt to decline.
+  using IpResolver = std::function<std::optional<net::Ipv4>(const std::string&)>;
+
+  explicit GfwInjector(gfw::Gfw& gfw, IpResolver resolve = nullptr)
+      : gfw_(gfw), resolve_(std::move(resolve)) {}
+
+  const char* layer() const override { return "gfw"; }
+  bool handles(const FaultEvent& ev) const override;
+  bool apply(const FaultEvent& ev) override;
+  void revert(const FaultEvent& ev) override;
+
+ private:
+  gfw::Gfw& gfw_;
+  IpResolver resolve_;
+  std::map<int, gfw::GfwConfig> saved_config_;  // by fault id
+  std::map<int, net::Ipv4> banned_;             // by fault id
+};
+
+// kNodeCrash against fleet endpoints: "fleet:any" crashes the lowest live
+// id, "fleet:<n>" a specific one. No revert — the fleet's own prober/respawn
+// loop is the recovery under measurement.
+class FleetInjector final : public Injector {
+ public:
+  explicit FleetInjector(fleet::Fleet& fleet) : fleet_(fleet) {}
+
+  const char* layer() const override { return "fleet"; }
+  bool handles(const FaultEvent& ev) const override;
+  bool apply(const FaultEvent& ev) override;
+  void revert(const FaultEvent&) override {}
+
+ private:
+  fleet::Fleet& fleet_;
+};
+
+// Resolver faults against one named DnsServer: kNodeCrash with target equal
+// to the server's name stops it answering (queries time out); a
+// kDnsPoisonCampaign with target "<name>:<hostname>" poisons that hostname
+// server-side (as distinct from the GFW's on-path forgery).
+class DnsInjector final : public Injector {
+ public:
+  DnsInjector(dns::DnsServer& server, std::string name)
+      : server_(server), name_(std::move(name)) {}
+
+  const char* layer() const override { return "dns"; }
+  bool handles(const FaultEvent& ev) const override;
+  bool apply(const FaultEvent& ev) override;
+  void revert(const FaultEvent& ev) override;
+
+ private:
+  dns::DnsServer& server_;
+  std::string name_;
+};
+
+// Where server-side poisoned answers point (TEST-NET-3; unroutable in every
+// chaos world, so poisoned fetches fail by timeout like real sinkholes).
+inline constexpr net::Ipv4 kChaosSinkhole{203, 0, 113, 99};
+
+}  // namespace sc::chaos

@@ -1,0 +1,155 @@
+#include "chaos/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sc::chaos {
+
+RecoveryTracker::RecoveryTracker(sim::Simulator& sim,
+                                 const ChaosScript& script)
+    : sim_(sim) {
+  // Records are indexed by fault id; ids are dense from 0 in add order.
+  records_.resize(script.size());
+  for (const FaultEvent& ev : script.events()) {
+    FaultRecord& r = records_[static_cast<std::size_t>(ev.id)];
+    r.id = ev.id;
+    r.kind = ev.kind;
+    r.target = ev.target;
+  }
+  if (obs::Registry* reg = obs::registryOf(sim_)) {
+    h_detect_us_ = reg->histogram("sc.chaos.detect_us");
+    h_recover_us_ = reg->histogram("sc.chaos.recover_us");
+    c_impacted_ = reg->counter("sc.chaos.faults_impacting");
+    c_recovered_ = reg->counter("sc.chaos.faults_recovered");
+    c_requests_lost_ = reg->counter("sc.chaos.requests_lost");
+  }
+}
+
+void RecoveryTracker::attachTo(obs::Tracer& tracer) {
+  tracer.setSink([this](const obs::Event& ev) { onEvent(ev); });
+}
+
+void RecoveryTracker::onEvent(const obs::Event& ev) {
+  switch (ev.type) {
+    case obs::EventType::kChaosFault: {
+      if (ev.a < 0 || static_cast<std::size_t>(ev.a) >= records_.size())
+        return;
+      FaultRecord& r = records_[static_cast<std::size_t>(ev.a)];
+      if (std::strcmp(ev.what, "begin") == 0) {
+        r.began = ev.at;
+      } else if (std::strcmp(ev.what, "end") == 0) {
+        r.ended = ev.at;
+      } else {
+        r.began = ev.at;
+        r.unhandled = true;
+      }
+      return;
+    }
+    case obs::EventType::kAccessOutcome:
+      if (std::strcmp(ev.what, "ok") == 0)
+        noteSuccess(ev.at);
+      else
+        noteFailure(ev.at, /*is_access=*/true);
+      return;
+    case obs::EventType::kFleetProbe:
+      // A missed probe is the fleet's own detection signal — earlier than
+      // any user-visible failure, which is exactly what time-to-detect
+      // should capture for the fleet-backed method.
+      if (std::strcmp(ev.what, "degraded") == 0 ||
+          std::strcmp(ev.what, "down") == 0)
+        noteFailure(ev.at, /*is_access=*/false);
+      return;
+    default:
+      return;
+  }
+}
+
+void RecoveryTracker::noteFailure(sim::Time now, bool is_access) {
+  for (FaultRecord& r : records_) {
+    if (r.began < 0 || r.unhandled || r.recovered()) continue;
+    const bool in_window = now >= r.began && (r.ended < 0 || now <= r.ended);
+    if (in_window && r.first_fail < 0) {
+      r.first_fail = now;
+      if (h_detect_us_ != nullptr)
+        h_detect_us_->observe(
+            static_cast<double>(now - r.began) / sim::kMicrosecond);
+      if (c_impacted_ != nullptr) c_impacted_->inc();
+    }
+    // Lost-request accounting: any access failure between detection and
+    // recovery is the outage's fault, window or no window.
+    if (is_access && r.impacted()) {
+      ++r.requests_lost;
+      if (c_requests_lost_ != nullptr) c_requests_lost_->inc();
+    }
+  }
+}
+
+void RecoveryTracker::noteSuccess(sim::Time now) {
+  for (FaultRecord& r : records_) {
+    if (!r.impacted() || r.recovered() || now < r.first_fail) continue;
+    r.recovered_at = now;
+    if (h_recover_us_ != nullptr)
+      h_recover_us_->observe(
+          static_cast<double>(now - r.first_fail) / sim::kMicrosecond);
+    if (c_recovered_ != nullptr) c_recovered_->inc();
+  }
+}
+
+int RecoveryTracker::impacted() const {
+  return static_cast<int>(std::count_if(
+      records_.begin(), records_.end(),
+      [](const FaultRecord& r) { return r.impacted(); }));
+}
+
+int RecoveryTracker::recovered() const {
+  return static_cast<int>(std::count_if(
+      records_.begin(), records_.end(),
+      [](const FaultRecord& r) { return r.recovered(); }));
+}
+
+int RecoveryTracker::unrecovered() const {
+  return static_cast<int>(std::count_if(
+      records_.begin(), records_.end(), [](const FaultRecord& r) {
+        return r.impacted() && !r.recovered();
+      }));
+}
+
+std::uint64_t RecoveryTracker::requestsLost() const {
+  std::uint64_t total = 0;
+  for (const FaultRecord& r : records_) total += r.requests_lost;
+  return total;
+}
+
+double RecoveryTracker::meanDetectSeconds() const {
+  double sum = 0;
+  int n = 0;
+  for (const FaultRecord& r : records_) {
+    if (!r.impacted()) continue;
+    sum += static_cast<double>(r.detectLatency()) / sim::kSecond;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double RecoveryTracker::meanRecoverSeconds() const {
+  double sum = 0;
+  int n = 0;
+  for (const FaultRecord& r : records_) {
+    if (!r.recovered()) continue;
+    sum += static_cast<double>(r.recoveryLatency()) / sim::kSecond;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double RecoveryTracker::maxRecoverSeconds() const {
+  double best = 0;
+  for (const FaultRecord& r : records_) {
+    if (!r.recovered()) continue;
+    best = std::max(best,
+                    static_cast<double>(r.recoveryLatency()) / sim::kSecond);
+  }
+  return best;
+}
+
+}  // namespace sc::chaos

@@ -1,0 +1,85 @@
+// RecoveryTracker: turns the live trace stream into per-fault recovery
+// records. It hangs off the Tracer sink (so nothing is lost to ring
+// overwrite) and correlates three things:
+//
+//   - kChaosFault begin/end      -> the fault window, by fault id;
+//   - failure signals            -> time-to-detect: the first kAccessOutcome
+//     "fail" or kFleetProbe "degraded"/"down" inside an open fault window
+//     stamps first_fail (the moment the outage became observable);
+//   - kAccessOutcome "ok"        -> time-to-recover: the first success after
+//     first_fail stamps recovered_at.
+//
+// Attribution is window-based: a failure inside [began, ended] (or after
+// `began` for permanent faults) is charged to every such fault. Overlapping
+// faults therefore share blame — deliberately, since from the user's chair
+// concurrent faults are one outage. requests_lost counts failed accesses
+// from first_fail until recovery, including failures that outlive a finite
+// fault's window (the outage can drag past the fault lifting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "obs/hub.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace sc::chaos {
+
+struct FaultRecord {
+  int id = -1;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::string target;
+  sim::Time began = -1;         // -1 until the begin edge is observed
+  sim::Time ended = -1;         // -1 = permanent or still active
+  sim::Time first_fail = -1;    // first observable impact
+  sim::Time recovered_at = -1;  // first success after first_fail
+  std::uint64_t requests_lost = 0;
+  bool unhandled = false;       // no injector claimed it in this world
+
+  bool impacted() const noexcept { return first_fail >= 0; }
+  bool recovered() const noexcept { return impacted() && recovered_at >= 0; }
+  sim::Time detectLatency() const noexcept {
+    return impacted() ? first_fail - began : -1;
+  }
+  sim::Time recoveryLatency() const noexcept {
+    return recovered() ? recovered_at - first_fail : -1;
+  }
+};
+
+class RecoveryTracker {
+ public:
+  RecoveryTracker(sim::Simulator& sim, const ChaosScript& script);
+
+  // Installs this tracker as the tracer's sink (single-observer slot).
+  void attachTo(obs::Tracer& tracer);
+
+  const std::vector<FaultRecord>& records() const noexcept { return records_; }
+
+  // ---- aggregates (computed on demand, deterministic) ----
+  int faults() const noexcept { return static_cast<int>(records_.size()); }
+  int impacted() const;
+  int recovered() const;
+  int unrecovered() const;  // impacted but never saw a success again
+  std::uint64_t requestsLost() const;
+  double meanDetectSeconds() const;
+  double meanRecoverSeconds() const;
+  double maxRecoverSeconds() const;
+
+ private:
+  void onEvent(const obs::Event& ev);
+  void noteFailure(sim::Time now, bool is_access);
+  void noteSuccess(sim::Time now);
+
+  sim::Simulator& sim_;
+  std::vector<FaultRecord> records_;  // indexed by fault id (dense)
+
+  obs::Histogram* h_detect_us_ = nullptr;
+  obs::Histogram* h_recover_us_ = nullptr;
+  obs::Counter* c_impacted_ = nullptr;
+  obs::Counter* c_recovered_ = nullptr;
+  obs::Counter* c_requests_lost_ = nullptr;
+};
+
+}  // namespace sc::chaos

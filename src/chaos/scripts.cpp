@@ -1,0 +1,60 @@
+#include "chaos/scripts.h"
+
+namespace sc::chaos {
+
+ChaosScript semesterVpnBan(sim::Time day) {
+  ChaosScript s;
+  // Day 1: the blocklist wave that always precedes an escalation — mirror
+  // domains and provider portals go first.
+  s.blocklistWave(1 * day, "scholar-mirror.example,vpnportal.example", 0);
+  // Day 2: the ban lands. Permanent (duration 0), recognized VPN protocols
+  // are disciplined at 4x — with the calibrated 0.25 base that saturates at
+  // 1.0, i.e. every classified VPN packet drops. Native VPN never comes back.
+  s.dpiRamp(2 * day, 4.0, /*ban_vpn_protocols=*/true, 0);
+  // Days 3 and 5: egress IPs get discovered and banned for half a day each —
+  // the fleet's retire/respawn cycle under measurement.
+  s.ipBan(3 * day, "egress", day / 2);
+  s.ipBan(5 * day, "egress", day / 2);
+  // Day 4: border brown-out while the new filters shake out.
+  s.linkDegrade(4 * day, "transpacific", 0.05, day);
+  return s;
+}
+
+ChaosScript torBridgeProbeWave(sim::Time day) {
+  ChaosScript s;
+  // Day 1: probing surge — suspicion-to-probe latency drops 4x and
+  // confirmed suspects stay blocked 4x longer, for three days.
+  s.probingSurge(1 * day, 4.0, 3 * day);
+  // Day 1.5: the bridge directory lands on the domain blocklist for good.
+  s.blocklistWave(day + day / 2, "torproject.org,bridges.example", 0);
+  // Day 2: the scan load degrades border transit for a day.
+  s.linkDegrade(2 * day, "transpacific", 0.08, day);
+  // Day 2.5: a confirmed egress gets banned for half a day.
+  s.ipBan(2 * day + day / 2, "egress", day / 2);
+  return s;
+}
+
+ChaosScript ssEndpointDiscovery(sim::Time day) {
+  ChaosScript s;
+  // Day 1: probing surge while the classifier hunts high-entropy flows.
+  s.probingSurge(1 * day, 3.0, 2 * day);
+  // Day 1.5 and 3: discovered endpoints banned for half a day each.
+  s.ipBan(day + day / 2, "egress", day / 2);
+  s.ipBan(3 * day, "egress", day / 2);
+  // Day 2: entropy disciplines doubled for two days (no VPN-protocol ban).
+  s.dpiRamp(2 * day, 2.0, /*ban_vpn_protocols=*/false, 2 * day);
+  // Day 2.5: one egress machine dies outright (fleet worlds only; elsewhere
+  // this traces as unhandled and charges nothing).
+  s.nodeCrash(2 * day + day / 2, "fleet:any");
+  return s;
+}
+
+std::vector<CannedScript> cannedScripts(sim::Time day) {
+  std::vector<CannedScript> out;
+  out.push_back({"vpn_ban", semesterVpnBan(day)});
+  out.push_back({"bridge_probe", torBridgeProbeWave(day)});
+  out.push_back({"ss_discovery", ssEndpointDiscovery(day)});
+  return out;
+}
+
+}  // namespace sc::chaos

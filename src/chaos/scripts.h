@@ -1,0 +1,41 @@
+// Canned fault scripts modeling the censorship campaigns the paper's users
+// actually lived through. All three are parameterized by a compressed `day`
+// (sim-time per simulated day) so a semester-scale story fits a bench run;
+// the relative shape — what escalates when, what lifts, what never does —
+// is the scripted part, and every script bans the symbolic "egress" target
+// at least once so fleet-backed deployments get exercised through a full
+// detect -> retire -> respawn -> recover cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+
+namespace sc::chaos {
+
+// The 2012–2015 era replayed: a blocklist expansion wave, then a permanent
+// DPI escalation that bans recognized VPN protocols outright (native VPN
+// goes dark and stays dark), plus recurring egress-IP discoveries and a
+// border brown-out. The legal-avenue argument in fault form.
+ChaosScript semesterVpnBan(sim::Time day = 10 * sim::kSecond);
+
+// A Tor bridge-enumeration campaign: active-probing surge, bridge-directory
+// blocklist wave, degraded border transit while the scan runs, and egress
+// bans as bridges get confirmed.
+ChaosScript torBridgeProbeWave(sim::Time day = 10 * sim::kSecond);
+
+// Shadowsocks endpoint discovery: probing surge plus an entropy-discipline
+// ramp, with repeated egress-IP bans as servers are confirmed, and one
+// machine crash mid-campaign.
+ChaosScript ssEndpointDiscovery(sim::Time day = 10 * sim::kSecond);
+
+struct CannedScript {
+  std::string name;
+  ChaosScript script;
+};
+
+// All canned scripts, in a stable order (bench grid rows).
+std::vector<CannedScript> cannedScripts(sim::Time day = 10 * sim::kSecond);
+
+}  // namespace sc::chaos

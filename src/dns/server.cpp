@@ -21,7 +21,16 @@ void DnsServer::removeRecord(const std::string& name) {
   zone_.erase(toLower(name));
 }
 
+void DnsServer::poison(const std::string& name, net::Ipv4 address) {
+  poisoned_[toLower(name)] = address;
+}
+
+void DnsServer::unpoison(const std::string& name) {
+  poisoned_.erase(toLower(name));
+}
+
 void DnsServer::onQuery(net::Endpoint from, ByteView data, std::uint32_t tag) {
+  if (!answering_) return;  // crashed: the query vanishes, clients time out
   const auto query = parseDns(data);
   if (!query || query->is_response || query->questions.empty()) return;
   ++queries_;
@@ -32,6 +41,15 @@ void DnsServer::onQuery(net::Endpoint from, ByteView data, std::uint32_t tag) {
   sim::Time delay = options_.cached_delay;
   for (const auto& q : query->questions) {
     const std::string name = toLower(q.name);
+    const auto poisoned = poisoned_.find(name);
+    if (poisoned != poisoned_.end()) {
+      Answer a;
+      a.name = q.name;
+      a.ttl_seconds = 300;
+      a.address = poisoned->second;
+      reply.answers.push_back(std::move(a));
+      continue;
+    }
     const auto it = zone_.find(name);
     if (it == zone_.end()) {
       reply.rcode = Rcode::kNxDomain;

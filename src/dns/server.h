@@ -29,6 +29,17 @@ class DnsServer {
                  std::uint32_t ttl_seconds = 300);
   void removeRecord(const std::string& name);
 
+  // ---- chaos seams ----
+  // A crashed resolver answers nothing — queries just time out client-side
+  // (UDP has no connection refusal to observe). Restart re-arms it.
+  void setAnswering(bool on) noexcept { answering_ = on; }
+  bool answering() const noexcept { return answering_; }
+  // Zone-level poisoning: a poisoned name answers with `address` instead of
+  // its zone entry (a compromised or coerced resolver, as distinct from the
+  // GFW's on-path forgery which races the genuine reply at the border).
+  void poison(const std::string& name, net::Ipv4 address);
+  void unpoison(const std::string& name);
+
   std::uint64_t queriesServed() const noexcept { return queries_; }
 
  private:
@@ -41,7 +52,9 @@ class DnsServer {
     std::uint32_t ttl_seconds;
   };
   std::unordered_map<std::string, Entry> zone_;
+  std::unordered_map<std::string, net::Ipv4> poisoned_;
   std::unordered_set<std::string> resolved_once_;
+  bool answering_ = true;
   std::uint64_t queries_ = 0;
 };
 

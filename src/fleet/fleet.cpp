@@ -229,6 +229,25 @@ void Fleet::retireEndpoint(int id, bool respawn) {
   }
 }
 
+bool Fleet::crashEndpoint(int id) {
+  if (endpoints_.empty()) return false;
+  if (id < 0) id = endpoints_.begin()->first;
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) return false;
+  trace(obs::EventType::kFleetScale, "crash", it->second.name, id);
+  // Closing fires each tunnel's onClose: the slot nulls out and a redial is
+  // scheduled. Against a still-routable endpoint the fleet heals quietly; a
+  // script that also downs the endpoint's access link turns those redials
+  // into timeouts and the prober walks it to kDown -> retire + respawn.
+  for (auto& tunnel : it->second.tunnels) {
+    if (tunnel != nullptr) {
+      auto doomed = tunnel;  // keep alive: close handler nulls the slot
+      doomed->close();
+    }
+  }
+  return true;
+}
+
 bool Fleet::scaleUp() {
   if (!addEndpoint()) return false;
   trace(obs::EventType::kFleetScale, "up", "", size());

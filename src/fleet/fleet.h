@@ -90,6 +90,12 @@ class Fleet final : public core::TunnelProvider {
   // Retires `id` (drains; no new picks) and, when `respawn` is set, spawns
   // a replacement on a fresh endpoint.
   void retireEndpoint(int id, bool respawn);
+  // Chaos seam: the remote machine dies mid-flight. Every tunnel to `id` is
+  // severed at once — no drain, no retire, no balancer update. Detection is
+  // deliberately left to the prober (redials race probe failures), so
+  // crash-to-respawn latency is a measured outcome, not a scripted one.
+  // Pass id < 0 to crash the lowest live id. Returns false if nothing lives.
+  bool crashEndpoint(int id);
   bool scaleUp();
   bool scaleDown();
 

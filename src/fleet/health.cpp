@@ -20,6 +20,11 @@ HealthProber::HealthProber(sim::Simulator& sim, HealthProberOptions options,
 
 void HealthProber::watch(int id) {
   Watched& w = watched_[id];  // re-watching resets the probe clock
+  // Kill any probe still pending from the previous life of this id: without
+  // this, a backoff-delayed probe scheduled before a respawn keeps firing
+  // alongside the fresh chain (it reads the *current* generation at fire
+  // time), doubling probe traffic and dragging stale backoff across lives.
+  w.timer.cancel();
   w.health = Health::kUnknown;
   w.failures = 0;
   ++w.generation;
@@ -61,6 +66,9 @@ int HealthProber::consecutiveFailures(int id) const {
 void HealthProber::scheduleProbe(int id, sim::Time delay) {
   const auto it = watched_.find(id);
   if (it == watched_.end()) return;
+  // Overwriting an EventHandle does not cancel the event it names; do it
+  // explicitly so each watched id carries at most one pending probe.
+  it->second.timer.cancel();
   it->second.timer = sim_.schedule(delay, [this, id] { fireProbe(id); });
 }
 

@@ -54,6 +54,18 @@ void Gfw::addKnownTorRelay(net::Ipv4 ip) {
   if (config_.ip_blocking) ips_.add(ip);
 }
 
+void Gfw::mutatePolicy(const std::function<void(GfwConfig&)>& fn) {
+  fn(config_);
+  // Re-discipline live flows. Order-independent: applyDiscipline is a pure
+  // per-flow recompute from (cls, config) with no callbacks or traces.
+  // sclint:allow(det-unordered-iter) order-independent per-flow recompute, no observable side effects
+  for (auto& [key, flow] : flows_) {
+    if (flow.classified && !flow.lenient) applyDiscipline(flow);
+  }
+  ++policy_version_;
+  if (on_policy_change_) on_policy_change_();
+}
+
 void Gfw::enableActiveProbing(transport::HostStack& probe_stack) {
   prober_ = std::make_unique<ActiveProber>(probe_stack, config_);
 }

@@ -51,6 +51,19 @@ class Gfw final : public net::PacketFilter {
 
   GfwConfig& config() noexcept { return config_; }
 
+  // ---- policy-mutation seam (chaos escalation waves) ----
+  // Applies `fn` to the live config, re-disciplines every already-classified
+  // flow under the new policy (an escalation wave hits established VPN
+  // tunnels mid-session, not just new connections — the semester-scale churn
+  // the paper describes), bumps the policy version and fires the on-change
+  // hook. The blocklists have their own churn channel
+  // (IpBlocklist::version()/setOnChange()); this one covers everything else.
+  void mutatePolicy(const std::function<void(GfwConfig&)>& fn);
+  std::uint64_t policyVersion() const noexcept { return policy_version_; }
+  void setOnPolicyChange(std::function<void()> cb) {
+    on_policy_change_ = std::move(cb);
+  }
+
   // ---- PacketFilter ----
   Verdict onPacket(net::Packet& pkt, net::Direction dir,
                    net::Link& link) override;
@@ -102,6 +115,8 @@ class Gfw final : public net::PacketFilter {
 
   net::Network& network_;
   GfwConfig config_;
+  std::uint64_t policy_version_ = 0;
+  std::function<void()> on_policy_change_;
   net::Direction outbound_ = net::Direction::kAtoB;
   DomainBlocklist domains_;
   IpBlocklist ips_;

@@ -30,6 +30,22 @@ Direction Link::directionFrom(const Node& from) const {
 void Link::transmit(Packet pkt, const Node& from) {
   const Direction dir = directionFrom(from);
 
+  if (!up_) {
+    if (obs::Tracer* tracer = obs::tracerOf(net_.sim())) {
+      obs::Event ev;
+      ev.at = net_.sim().now();
+      ev.type = obs::EventType::kPacketDrop;
+      ev.what = "link_down";
+      ev.detail = name_;
+      ev.flow = flowKeyOf(pkt);
+      ev.pkt_id = pkt.id;
+      ev.tag = pkt.measure_tag;
+      tracer->record(std::move(ev));
+    }
+    net_.noteLostFilter(pkt);
+    return;
+  }
+
   for (PacketFilter* f : filters_) {
     if (f->onPacket(pkt, dir, *this) == PacketFilter::Verdict::kDrop) {
       net_.noteLostFilter(pkt);
@@ -95,6 +111,7 @@ void Link::scheduleDelivery(Direction dir, Packet pkt) {
 }
 
 void Link::inject(Direction dir, Packet pkt) {
+  if (!up_) return;  // a downed link blackholes fabricated packets too
   if (pkt.id == 0) pkt.id = net_.nextPacketId();
   scheduleDelivery(dir, std::move(pkt));
 }

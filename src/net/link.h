@@ -63,6 +63,14 @@ class Link {
 
   void addFilter(PacketFilter* filter) { filters_.push_back(filter); }
 
+  // ---- chaos seams ----
+  // Administrative state: a downed link silently eats every packet offered
+  // to it, in both directions, including injected ones — the blackhole
+  // semantics of a cut cable or a crashed host (no RST, no ICMP, nothing).
+  // The fault injector flips this for link-flap and node-crash faults.
+  void setUp(bool up) noexcept { up_ = up; }
+  bool isUp() const noexcept { return up_; }
+
   Node& endpoint(Direction dir) const {
     return dir == Direction::kAtoB ? *b_ : *a_;
   }
@@ -90,6 +98,7 @@ class Link {
   Node* b_;
   LinkParams params_;
   std::string name_;
+  bool up_ = true;
   std::vector<PacketFilter*> filters_;
   sim::Time next_free_[2] = {0, 0};
   std::uint64_t bytes_carried_[2] = {0, 0};

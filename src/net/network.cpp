@@ -51,6 +51,12 @@ Link& Network::addLink(Node& a, Node& b, LinkParams params, std::string name) {
   return *links_.back();
 }
 
+Link* Network::findLink(const std::string& name) {
+  for (const auto& link : links_)
+    if (link->name() == name) return link.get();
+  return nullptr;
+}
+
 void Network::noteOriginated(const Packet& pkt) {
   ++total_originated_;
   auto& s = tag_stats_[pkt.measure_tag];

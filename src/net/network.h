@@ -22,6 +22,11 @@ class Network {
   Node& addNode(std::string name);
   Link& addLink(Node& a, Node& b, LinkParams params, std::string name);
 
+  // Name lookup for the chaos injectors (scripts target links by the names
+  // the World factories assign, e.g. "transpacific" or "<leaf>-access").
+  // Linear scan — fault injection is control-plane, not per-packet.
+  Link* findLink(const std::string& name);
+
   sim::Simulator& sim() noexcept { return sim_; }
   std::uint64_t nextPacketId() noexcept { return ++next_packet_id_; }
 

@@ -19,6 +19,8 @@ const char* eventTypeName(EventType type) {
     case EventType::kFleetFailover: return "fleet_failover";
     case EventType::kFleetScale: return "fleet_scale";
     case EventType::kCacheLookup: return "cache_lookup";
+    case EventType::kChaosFault: return "chaos_fault";
+    case EventType::kAccessOutcome: return "access_outcome";
   }
   return "?";
 }
@@ -45,6 +47,7 @@ void Tracer::clear() {
 
 void Tracer::record(Event ev) {
   if (!enabled_) return;
+  if (sink_) sink_(ev);
   ++total_;
   if (ring_.size() < cap_) {
     ring_.push_back(std::move(ev));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,12 @@ enum class EventType : std::uint8_t {
   kPoolSaturation, // domestic tunnel pool empty at pick, a=retries left
   kFleetProbe,     // what="up"|"down"|"fail", detail=endpoint, a=failures
   kFleetFailover,  // what=cause ("retired"|"pick"), detail=endpoint, a=id
-  kFleetScale,     // what="up"|"down"|"respawn", detail=endpoint, a=new size
+  kFleetScale,     // what="up"|"down"|"respawn"|"crash", detail=endpoint,
+                   // a=new size (crash: endpoint id)
   kCacheLookup,    // what="hit"|"miss", detail=cache key, a=shard
+  kChaosFault,     // what="begin"|"end"|"unhandled", detail=kind:target,
+                   // a=fault id within the script
+  kAccessOutcome,  // what="ok"|"fail", a=latency us (ok) / -1 (fail)
 };
 
 const char* eventTypeName(EventType type);
@@ -77,6 +82,13 @@ class Tracer {
   // is a silent no-op (keeps call sites safe, costs one branch).
   void record(Event ev);
 
+  // Live tap: one observer sees every recorded event before it enters the
+  // ring (so it is never lost to overwrite). Same single-observer contract
+  // as gfw::IpBlocklist::setOnChange — fan-out is the observer's business.
+  // The chaos RecoveryTracker hangs off this to measure time-to-recover.
+  using Sink = std::function<void(const Event&)>;
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+
   // Events in chronological (ring) order.
   std::vector<Event> events() const;
   std::uint64_t recorded() const noexcept { return total_; }
@@ -90,6 +102,7 @@ class Tracer {
   std::size_t head_ = 0;  // next write position once the ring is full
   std::uint64_t total_ = 0;
   std::vector<Event> ring_;
+  Sink sink_;
 };
 
 }  // namespace sc::obs

@@ -191,6 +191,44 @@ TEST(Health, ProbeNowCollapsesTheBackoff) {
   EXPECT_EQ(probes, before + 1);
 }
 
+TEST(Health, RewatchCancelsStaleBackoffChain) {
+  // Regression: watch() on an already-watched id (a respawn reusing the id)
+  // used to leave the previous backoff-scheduled probe armed. That stale
+  // probe read the *current* generation at fire time, so two probe chains
+  // ran side by side — doubled traffic and backoff state dragged across
+  // endpoint lives. Re-watching must behave exactly like a fresh watch.
+  sim::Simulator sim(1);
+  HealthProberOptions opts;  // interval 2s, base 1s, threshold 3
+  opts.backoff_max = 300 * sim::kSecond;
+  int probes = 0;
+  bool probe_ok = false;
+  HealthProber prober(sim, opts, [&](int, std::function<void(bool)> done) {
+    ++probes;
+    done(probe_ok);
+  });
+  prober.watch(3);
+  sim.runUntil(6 * sim::kSecond);  // failures at 2s, 3s, 5s -> kDown
+  EXPECT_EQ(prober.state(3), Health::kDown);
+  EXPECT_EQ(probes, 3);  // next probe would fire at 9s (4s backoff)
+
+  // The endpoint respawns healthy and is re-watched under the same id.
+  probe_ok = true;
+  prober.watch(3);
+  EXPECT_EQ(prober.state(3), Health::kUnknown);
+  EXPECT_EQ(prober.consecutiveFailures(3), 0);
+
+  // Exactly one probe in the next interval window: at 8s (6s + interval),
+  // from the fresh chain. The stale backoff chain's 9s firing must be gone.
+  sim.runUntil(9 * sim::kSecond + 500 * sim::kMillisecond);
+  EXPECT_EQ(probes, 4);
+  EXPECT_EQ(prober.state(3), Health::kHealthy);
+
+  // Steady state stays single-chain: one probe per interval.
+  const int at_steady = probes;
+  sim.runUntil(13 * sim::kSecond + 500 * sim::kMillisecond);
+  EXPECT_EQ(probes, at_steady + 2);  // 10s and 12s
+}
+
 TEST(Health, UnwatchStopsProbing) {
   sim::Simulator sim(1);
   int probes = 0;

@@ -43,6 +43,51 @@ TEST(IpBlocklist, ExactPrefixAndExpiry) {
   EXPECT_TRUE(list.isBlocked(net::Ipv4(1, 2, 3, 4), 1 << 20));
 }
 
+TEST(IpBlocklist, VersionCountsEveryEffectiveMutation) {
+  // The chaos engine leans on version()/setOnChange() as the churn channel,
+  // so rapid successive mutations must neither coalesce real changes nor
+  // count no-ops as churn.
+  IpBlocklist list;
+  EXPECT_EQ(list.version(), 0u);
+  list.add(net::Ipv4(9, 9, 9, 1));
+  list.add(net::Ipv4(9, 9, 9, 2), 500);
+  list.add(net::Ipv4(9, 9, 9, 3), 800);
+  EXPECT_EQ(list.version(), 3u);
+
+  // Re-adding a permanent entry is a no-op: no bump, no callback.
+  list.add(net::Ipv4(9, 9, 9, 1), 100);
+  EXPECT_EQ(list.version(), 3u);
+  // Extending a finite entry IS churn.
+  list.add(net::Ipv4(9, 9, 9, 2), 900);
+  EXPECT_EQ(list.version(), 4u);
+
+  // Removing something absent is not churn; removing a live entry is.
+  list.remove(net::Ipv4(7, 7, 7, 7));
+  EXPECT_EQ(list.version(), 4u);
+  list.remove(net::Ipv4(9, 9, 9, 3));
+  EXPECT_EQ(list.version(), 5u);
+}
+
+TEST(IpBlocklist, OnChangeFiresAfterTheMutationLands) {
+  // The single observer must see post-mutation state (fleets call
+  // probeAllNow from here and need isBlocked to answer the new truth), and
+  // back-to-back mutations must each fire — ordering, no coalescing.
+  IpBlocklist list;
+  std::vector<std::pair<std::uint64_t, bool>> seen;  // version, blocked(A)?
+  const net::Ipv4 a(10, 0, 0, 1);
+  list.setOnChange([&] { seen.push_back({list.version(), list.isBlocked(a, 0)}); });
+
+  list.add(a);
+  list.add(net::Ipv4(10, 0, 0, 2), 300);
+  list.remove(a);
+  list.remove(a);  // second remove: absent, must not fire
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, bool>{1, true}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, bool>{2, true}));
+  EXPECT_EQ(seen[2], (std::pair<std::uint64_t, bool>{3, false}));
+}
+
 // ---- classifiers ----
 
 TEST(Classifier, RecognizesPlainHttpHost) {
