@@ -7,6 +7,9 @@
 //   --trace FILE     enable the obs::Tracer and dump the event trace to FILE
 //                    (.csv suffix selects CSV, anything else JSONL)
 //   --metrics FILE   dump the obs::Registry snapshot to FILE after the sweep
+//   --spans FILE     enable the obs::SpanTracer and dump the span trees to
+//                    FILE (.json suffix selects Chrome trace_event format
+//                    for chrome://tracing, anything else JSONL)
 //   --accesses N     override SC_BENCH_ACCESSES / the default
 #pragma once
 
@@ -68,6 +71,7 @@ inline unsigned threadsFromEnv() {
 struct BenchArgs {
   std::string trace_path;    // empty = tracing off
   std::string metrics_path;  // empty = no metrics dump
+  std::string spans_path;    // empty = span recording off
   int accesses = 0;          // 0 = use accessesFromEnv
   bool ok = true;
 };
@@ -88,11 +92,14 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
       if (const char* v = value("--trace")) args.trace_path = v;
     } else if (std::strcmp(a, "--metrics") == 0) {
       if (const char* v = value("--metrics")) args.metrics_path = v;
+    } else if (std::strcmp(a, "--spans") == 0) {
+      if (const char* v = value("--spans")) args.spans_path = v;
     } else if (std::strcmp(a, "--accesses") == 0) {
       if (const char* v = value("--accesses")) args.accesses = std::atoi(v);
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--trace FILE] [--metrics FILE] [--accesses N]\n",
+                   "usage: %s [--trace FILE] [--metrics FILE] [--spans FILE] "
+                   "[--accesses N]\n",
                    argv[0]);
       args.ok = false;
     } else {
@@ -213,6 +220,7 @@ inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
   measure::TestbedOptions topts;
   topts.seed = seed;
   if (args != nullptr && !args->trace_path.empty()) topts.tracing = true;
+  if (args != nullptr && !args->spans_path.empty()) topts.spans = true;
   measure::Testbed tb(topts);
   measure::CampaignOptions copts;
   copts.accesses = accesses;
@@ -232,6 +240,11 @@ inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
       std::fprintf(stderr, "trace: %zu events -> %s\n",
                    tb.hub().tracer().events().size(),
                    args->trace_path.c_str());
+    }
+    if (!args->spans_path.empty() &&
+        obs::dumpSpans(tb.hub().spans(), args->spans_path)) {
+      std::fprintf(stderr, "spans: %zu -> %s\n", tb.hub().spans().spans().size(),
+                   args->spans_path.c_str());
     }
     if (!args->metrics_path.empty()) {
       // Simulator tallies are published at dump time (they are accessors,

@@ -1,0 +1,78 @@
+// Span waterfall: where one page load's time actually goes, per method.
+//
+// Runs a couple of accesses for two contrasting methods (Shadowsocks and
+// ScholarCloud) with span recording on, renders each access's span tree as
+// a text waterfall (the observability layer's answer to a browser devtools
+// network panel), and prints the critical-path attribution table that
+// bench_span_attribution aggregates.
+//
+//   ./build/examples/span_waterfall            # waterfalls to stdout
+//   ./build/examples/span_waterfall trace.json # + Chrome trace for
+//                                              # chrome://tracing / Perfetto
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "measure/campaign.h"
+#include "measure/testbed.h"
+#include "obs/critpath.h"
+#include "obs/export.h"
+#include "obs/hub.h"
+
+using namespace sc;
+using measure::Method;
+
+int main(int argc, char** argv) {
+  std::printf("Span waterfall: one access, phase by phase\n");
+  std::printf("==========================================\n");
+
+  measure::TestbedOptions topts;
+  topts.spans = true;
+  measure::Testbed tb(topts);
+
+  measure::CampaignOptions copts;
+  copts.accesses = 2;
+  copts.measure_rtt = false;
+  const struct {
+    Method method;
+    std::uint32_t tag;
+  } runs[] = {{Method::kShadowsocks, 100}, {Method::kScholarCloud, 101}};
+  for (const auto& run : runs) {
+    const auto result =
+        measure::runAccessCampaign(tb, run.method, run.tag, copts);
+    std::printf("\n%s: %d ok, %d failed\n", measure::methodName(run.method),
+                result.successes, result.failures);
+  }
+
+  const auto& spans = tb.hub().spans().spans();
+  std::printf("\n%zu spans recorded. Waterfalls (one per access):\n\n",
+              spans.size());
+  obs::renderWaterfall(spans, std::cout);
+
+  std::printf("\nCritical-path attribution (phase -> time on the path):\n");
+  for (const auto& attr : obs::attributeAll(spans)) {
+    const auto& access = spans[static_cast<std::size_t>(attr.access - 1)];
+    std::printf("  access #%llu (tag %u, %s): total %.3fs, self %.3fs\n",
+                static_cast<unsigned long long>(attr.access), access.tag,
+                attr.ok ? "ok" : "failed", sim::toSeconds(attr.total),
+                sim::toSeconds(attr.self));
+    for (std::size_t k = 0; k < obs::kSpanKindCount; ++k) {
+      if (attr.times[k] == 0 && attr.counts[k] == 0) continue;
+      if (static_cast<obs::SpanKind>(k) == obs::SpanKind::kAccess) continue;
+      std::printf("    %-16s %8.3fs  (%u span%s, %u error%s)\n",
+                  obs::spanKindName(static_cast<obs::SpanKind>(k)),
+                  sim::toSeconds(attr.times[k]), attr.counts[k],
+                  attr.counts[k] == 1 ? "" : "s", attr.errors[k],
+                  attr.errors[k] == 1 ? "" : "s");
+    }
+  }
+
+  if (argc > 1) {
+    if (obs::dumpChromeTrace(tb.hub().spans(), argv[1]))
+      std::printf("\nChrome trace -> %s (open in chrome://tracing)\n",
+                  argv[1]);
+    else
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+  }
+  return 0;
+}

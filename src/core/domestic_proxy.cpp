@@ -93,16 +93,24 @@ void DomesticProxy::removeFromWhitelist(const std::string& domain) {
 }
 
 void DomesticProxy::ensureTunnel(std::size_t slot) {
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "sc-mux",
+                     options_.remote.str());
   auto direct = stack_.directConnector(tag_);
   direct->connect(
       transport::ConnectTarget::byAddress(options_.remote),
-      [this, slot](transport::Stream::Ptr wire) {
+      [this, slot, span](transport::Stream::Ptr wire) {
         if (wire == nullptr) {
+          if (auto* sp = obs::spansOf(stack_.sim()))
+            sp->end(span, obs::SpanStatus::kError);
           // Remote unreachable: retry with backoff.
           stack_.sim().schedule(5 * sim::kSecond,
                                 [this, slot] { ensureTunnel(slot); });
           return;
         }
+        if (auto* sp = obs::spansOf(stack_.sim()))
+          sp->end(span, obs::SpanStatus::kOk);
         Tunnel::Options topts;
         topts.secret = options_.tunnel_secret;
         topts.blinding_mode = options_.blinding_mode;
@@ -151,12 +159,21 @@ void DomesticProxy::openProxiedStream(net::Ipv4 client,
                                       bool passthrough,
                                       TunnelProvider::StreamHandler fn) {
   if (provider_ != nullptr) {
+    // The provider (e.g. the fleet) records its own pick span.
     provider_->withStream(client, target, passthrough, std::move(fn));
     return;
   }
-  withTunnel([target = std::move(target), passthrough,
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kProxyHop, tag_, "pool-pick");
+  withTunnel([this, span, target = std::move(target), passthrough,
               fn = std::move(fn)](Tunnel::Ptr tunnel) mutable {
-    fn(tunnel == nullptr ? nullptr : tunnel->openStream(target, passthrough));
+    transport::Stream::Ptr stream =
+        tunnel == nullptr ? nullptr : tunnel->openStream(target, passthrough);
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(span, stream != nullptr ? obs::SpanStatus::kOk
+                                      : obs::SpanStatus::kError);
+    fn(std::move(stream));
   });
 }
 
@@ -257,7 +274,14 @@ void DomesticProxy::handleHttpRequest(const http::Request& req,
   const bool cacheable = cache != nullptr && req.method == "GET";
   const std::string cache_key = host + url->path;
   if (cacheable) {
-    if (auto hit = cache->lookup(cache_key)) {
+    auto hit = cache->lookup(cache_key);
+    // Zero-duration span: the consult is synchronous, but hit/miss counts
+    // per access feed the phase breakdown.
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(sp->begin(obs::SpanKind::kCacheLookup, tag_,
+                        hit.has_value() ? "hit" : "miss", cache_key),
+              obs::SpanStatus::kOk, hit.has_value() ? 1 : 0);
+    if (hit.has_value()) {
       ++cache_hits_;
       if (c_cache_hits_ != nullptr) c_cache_hits_->inc();
       noteProxied();

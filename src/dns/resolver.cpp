@@ -1,5 +1,6 @@
 #include "dns/resolver.h"
 
+#include "obs/hub.h"
 #include "util/strings.h"
 
 namespace sc::dns {
@@ -34,7 +35,15 @@ void Resolver::resolve(const std::string& name, Callback cb) {
   if (it != cache_.end() && it->second.expires > stack_.sim().now()) {
     ++cache_hits_;
     const net::Ipv4 addr = it->second.address;
-    stack_.sim().schedule(10, [cb = std::move(cb), addr] { cb(addr); });
+    sim::Simulator* simp = &stack_.sim();
+    obs::SpanId span = 0;
+    if (auto* sp = obs::spansOf(*simp))
+      span = sp->begin(obs::SpanKind::kDnsLookup, measure_tag_, "cache", key);
+    simp->schedule(10, [simp, span, cb = std::move(cb), addr] {
+      if (auto* sp = obs::spansOf(*simp))
+        sp->end(span, obs::SpanStatus::kOk);
+      cb(addr);
+    });
     return;
   }
 
@@ -43,6 +52,8 @@ void Resolver::resolve(const std::string& name, Callback cb) {
   p.name = key;
   p.cb = std::move(cb);
   p.retries_left = kRetries;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    p.span = sp->begin(obs::SpanKind::kDnsLookup, measure_tag_, "", key);
   pending_[id] = std::move(p);
   sendQuery(id);
 }
@@ -71,7 +82,10 @@ void Resolver::onTimeout(std::uint16_t id) {
     return;
   }
   auto cb = std::move(it->second.cb);
+  const std::uint64_t span = it->second.span;
   pending_.erase(it);
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    sp->end(span, obs::SpanStatus::kError);
   cb(std::nullopt);
 }
 
@@ -84,12 +98,17 @@ void Resolver::onResponse(ByteView data) {
   it->second.timeout.cancel();
   auto cb = std::move(it->second.cb);
   const std::string name = it->second.name;
+  const std::uint64_t span = it->second.span;
   pending_.erase(it);
 
   if (msg->rcode != Rcode::kNoError || msg->answers.empty()) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(span, obs::SpanStatus::kError);
     cb(std::nullopt);
     return;
   }
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    sp->end(span, obs::SpanStatus::kOk);
   const Answer& a = msg->answers.front();
   cache_[name] = CacheEntry{
       a.address,

@@ -42,6 +42,7 @@ class Resolver {
     Callback cb;
     int retries_left;
     sim::EventHandle timeout;
+    std::uint64_t span = 0;  // obs::SpanId covering the whole lookup
   };
 
   void sendQuery(std::uint16_t id);

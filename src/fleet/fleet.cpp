@@ -289,7 +289,19 @@ std::optional<int> Fleet::endpointIdFor(net::Ipv4 ip) const {
 void Fleet::withStream(net::Ipv4 client,
                        const transport::ConnectTarget& target,
                        bool passthrough, StreamHandler fn) {
-  tryPick(client, target, passthrough, std::move(fn), options_.pick_retries);
+  // Span covers pick + failover + retry waits until a stream (or nullptr)
+  // reaches the caller — the full server-side proxy-hop cost.
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kProxyHop, tag_, "fleet-pick");
+  tryPick(client, target, passthrough,
+          [this, span, fn = std::move(fn)](transport::Stream::Ptr stream) {
+            if (auto* sp = obs::spansOf(stack_.sim()))
+              sp->end(span, stream != nullptr ? obs::SpanStatus::kOk
+                                              : obs::SpanStatus::kError);
+            fn(std::move(stream));
+          },
+          options_.pick_retries);
 }
 
 void Fleet::tryPick(net::Ipv4 client, transport::ConnectTarget target,

@@ -1,6 +1,9 @@
 #include "gfw/gfw.h"
 
+#include <algorithm>
+
 #include "dns/message.h"
+#include "obs/hub.h"
 
 namespace sc::gfw {
 
@@ -81,9 +84,21 @@ bool Gfw::isSuspectServer(net::Ipv4 ip) const {
 
 void Gfw::gcFlows() {
   const sim::Time now = network_.sim().now();
+  // Collect ids first and end them in sorted order: erase_if visits the
+  // unordered map in hash order, and span-end mirror events must not depend
+  // on it.
+  std::vector<std::uint64_t> stale;
   std::erase_if(flows_, [&](const auto& kv) {
-    return now - kv.second.last_seen > config_.flow_idle_timeout;
+    const bool dead = now - kv.second.last_seen > config_.flow_idle_timeout;
+    if (dead && kv.second.span != 0 && !kv.second.classified)
+      stale.push_back(kv.second.span);
+    return dead;
   });
+  if (auto* sp = obs::spansOf(network_.sim())) {
+    std::sort(stale.begin(), stale.end());
+    for (const std::uint64_t id : stale)
+      sp->end(id, obs::SpanStatus::kCancelled);
+  }
   std::erase_if(suspect_servers_,
                 [&](const auto& kv) { return kv.second <= now; });
 }
@@ -285,6 +300,13 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
     default:
       break;
   }
+
+  if (auto* sp = obs::spansOf(network_.sim())) {
+    sp->setWhat(flow.span, flowClassName(cls));
+    sp->end(flow.span,
+            flow.killed ? obs::SpanStatus::kError : obs::SpanStatus::kOk,
+            static_cast<std::int64_t>(cls));
+  }
 }
 
 net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
@@ -313,6 +335,12 @@ net::PacketFilter::Verdict Gfw::onPacket(net::Packet& pkt, net::Direction dir,
   net::FiveTuple key = pkt.fiveTuple();
   if (!outbound) key = key.reversed();
   Flow& flow = flows_[key];
+  if (flow.packets == 0) {
+    // New border flow: traversal span runs until DPI reaches a verdict (the
+    // client's tag parents it to the in-flight access, if any).
+    if (auto* sp = obs::spansOf(network_.sim()))
+      flow.span = sp->begin(obs::SpanKind::kGfwTraversal, pkt.measure_tag);
+  }
   flow.last_seen = now;
   ++flow.packets;
 

@@ -95,6 +95,7 @@ class Gfw final : public net::PacketFilter {
     double drop_prob = 0.0;
     sim::Time last_seen = 0;
     std::uint64_t packets = 0;
+    std::uint64_t span = 0;  // obs::SpanId: first packet -> classified/killed
   };
 
   void classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,

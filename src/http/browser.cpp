@@ -1,6 +1,7 @@
 #include "http/browser.h"
 
 #include "http/socks.h"
+#include "obs/hub.h"
 #include "util/strings.h"
 
 namespace sc::http {
@@ -120,9 +121,16 @@ void Browser::finishTls(transport::Stream::Ptr raw, const Url& url,
   TlsClientOptions tls_opts;
   tls_opts.sni = url.host;
   tls_opts.fingerprint = options_.tls_fingerprint;
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kTlsHandshake, tag_, "", url.host);
   TlsStream::clientHandshake(std::move(raw), stack_.sim(), tls_opts,
                              &tls_cache_,
-                             [cb = std::move(cb)](TlsStream::Ptr tls) {
+                             [this, span, cb = std::move(cb)](TlsStream::Ptr tls) {
+                               if (auto* sp = obs::spansOf(stack_.sim()))
+                                 sp->end(span, tls != nullptr
+                                                   ? obs::SpanStatus::kOk
+                                                   : obs::SpanStatus::kError);
                                cb(std::move(tls));
                              });
 }
@@ -205,10 +213,19 @@ void Browser::connectVia(const ProxyHop& decision, const Url& url,
             connect_req.method = "CONNECT";
             connect_req.target = url.host + ":" + std::to_string(url.port);
             connect_req.headers.set("host", connect_req.target);
+            obs::SpanId span = 0;
+            if (auto* sp = obs::spansOf(stack_.sim()))
+              span = sp->begin(obs::SpanKind::kProxyHop, tag_, "connect",
+                               connect_req.target);
             HttpClient::fetchOn(
                 raw, stack_.sim(), connect_req, options_.request_timeout,
-                [this, url, raw, cb](std::optional<Response> resp) {
-                  if (!resp || resp->status != 200) {
+                [this, url, raw, span, cb](std::optional<Response> resp) {
+                  const bool ok = resp && resp->status == 200;
+                  if (auto* sp = obs::spansOf(stack_.sim()))
+                    sp->end(span,
+                            ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError,
+                            resp ? resp->status : 0);
+                  if (!ok) {
                     raw->close();
                     cb(nullptr);
                     return;
@@ -221,9 +238,17 @@ void Browser::connectVia(const ProxyHop& decision, const Url& url,
     case ProxyKind::kSocks: {
       auto socks =
           std::make_shared<SocksConnector>(stack_, decision.proxy, tag_);
+      obs::SpanId span = 0;
+      if (auto* sp = obs::spansOf(stack_.sim()))
+        span = sp->begin(obs::SpanKind::kProxyHop, tag_, "socks",
+                         decision.proxy.str());
       socks->connect(transport::ConnectTarget::byHostname(url.host, url.port),
-                     [this, url, cb = std::move(cb),
+                     [this, url, span, cb = std::move(cb),
                       socks](transport::Stream::Ptr raw) {
+                       if (auto* sp = obs::spansOf(stack_.sim()))
+                         sp->end(span, raw != nullptr
+                                           ? obs::SpanStatus::kOk
+                                           : obs::SpanStatus::kError);
                        finishTls(std::move(raw), url, cb);
                      });
       return;
@@ -256,10 +281,20 @@ void Browser::fetchUrl(const Url& url, bool conditional, FetchCb cb) {
       cb(std::nullopt);
       return;
     }
+    // The fetch span covers request -> response on the acquired stream;
+    // connection setup (DNS, TCP, TLS, proxy negotiation) has its own spans.
+    obs::SpanId span = 0;
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      span = sp->begin(obs::SpanKind::kUpstreamFetch, tag_, "", url.str());
     HttpClient::fetchOn(
         stream, stack_.sim(), req, options_.request_timeout,
-        [this, url, key, stream, cb = std::move(cb)](
+        [this, url, key, span, stream, cb = std::move(cb)](
             std::optional<Response> resp) {
+          if (auto* sp = obs::spansOf(stack_.sim()))
+            sp->end(span,
+                    resp.has_value() ? obs::SpanStatus::kOk
+                                     : obs::SpanStatus::kError,
+                    resp.has_value() ? resp->status : 0);
           if (resp.has_value()) {
             if (const auto etag = resp->headers.get("etag"))
               etag_cache_[url.str()] = *etag;
@@ -312,6 +347,10 @@ class PageLoadOp : public std::enable_shared_from_this<PageLoadOp> {
 
   void start() {
     t0_ = browser_.stack_.sim().now();
+    // The access root: every phase span recorded under this tag while the
+    // page load is in flight parents to it (duration == PLT).
+    if (auto* sp = obs::spansOf(browser_.stack_.sim()))
+      access_span_ = sp->push(obs::SpanKind::kAccess, browser_.tag_, "", host_);
     result_.first_visit = !browser_.visited_hosts_.contains(host_);
     Url url;
     url.host = host_;
@@ -403,6 +442,10 @@ class PageLoadOp : public std::enable_shared_from_this<PageLoadOp> {
     result_.ok = ok;
     result_.error = error;
     result_.plt = browser_.stack_.sim().now() - t0_;
+    if (auto* sp = obs::spansOf(browser_.stack_.sim()))
+      sp->pop(access_span_,
+              ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError,
+              result_.resources);
     if (ok) browser_.visited_hosts_.insert(host_);
     auto cb = std::move(cb_);
     cb(std::move(result_));
@@ -412,6 +455,7 @@ class PageLoadOp : public std::enable_shared_from_this<PageLoadOp> {
   std::string host_;
   std::function<void(PageLoadResult)> cb_;
   sim::Time t0_ = 0;
+  obs::SpanId access_span_ = 0;
   PageLoadResult result_;
   std::vector<Url> pending_urls_;
   int in_flight_ = 0;

@@ -60,6 +60,10 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
       if (options.cold_cache) client.browser->clearCaches();
       client.browser->loadPage(options.host, [&](http::PageLoadResult r) {
         ++done_accesses;
+        // One SLO sample per completed access (when an engine is installed):
+        // the burn-rate alert stream for this method's error budget.
+        if (obs::SloEngine* slo = tb.hub().slo())
+          slo->sample(sim.now(), r.ok, r.plt);
         if (!r.ok) {
           ++result.failures;
           return;

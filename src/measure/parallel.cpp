@@ -71,6 +71,11 @@ CampaignTrialResult runCampaignTrial(const CampaignTrial& trial) {
     obs::writeTraceJsonl(tb.hub().tracer(), trace);
     out.trace_jsonl = std::move(trace).str();
   }
+  if (trial.testbed.spans) {
+    std::ostringstream spans;
+    obs::writeSpansJsonl(tb.hub().spans().spans(), spans);
+    out.spans_jsonl = std::move(spans).str();
+  }
   return out;
 }
 

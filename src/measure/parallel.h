@@ -54,9 +54,11 @@ struct CampaignTrial {
 struct CampaignTrialResult {
   CampaignResult result;
   // JSONL exports of the trial's own Hub, captured before the testbed dies.
-  // trace_jsonl is empty unless trial.testbed.tracing was on.
+  // trace_jsonl is empty unless trial.testbed.tracing was on; spans_jsonl is
+  // empty unless trial.testbed.spans was on.
   std::string trace_jsonl;
   std::string metrics_jsonl;
+  std::string spans_jsonl;
 };
 
 CampaignTrialResult runCampaignTrial(const CampaignTrial& trial);

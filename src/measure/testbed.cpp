@@ -18,6 +18,7 @@ const char* methodName(Method m) {
 Testbed::Testbed(TestbedOptions options)
     : options_(options), sim_(options.seed), hub_(sim_), network_(sim_) {
   if (options_.tracing) hub_.tracer().enable(options_.trace_capacity);
+  if (options_.spans) hub_.spans().enable(options_.span_reserve);
   world_ = std::make_unique<net::World>(network_, options_.world);
   buildOrigins();
   buildGfw();

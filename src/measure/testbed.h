@@ -62,6 +62,11 @@ struct TestbedOptions {
   // fills when requested.
   bool tracing = false;
   std::size_t trace_capacity = obs::Tracer::kDefaultCap;
+  // Causal span recording (obs::SpanTracer). Off by default for the same
+  // reason; span storage grows (never overwrites), so long campaigns should
+  // export and clear between batches.
+  bool spans = false;
+  std::size_t span_reserve = 4096;
 };
 
 class Testbed {

@@ -1,0 +1,131 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+
+namespace sc::obs {
+
+namespace {
+
+struct ClampedSpan {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  int depth = 0;  // distance from the access root (1 = direct child)
+  SpanId id = 0;
+  SpanKind kind = SpanKind::kAccess;
+};
+
+// Innermost wins; among equal depths the later-started (and then higher-id)
+// span is the more specific one. Total order, so attribution is unique.
+bool moreSpecific(const ClampedSpan& a, const ClampedSpan& b) {
+  if (a.depth != b.depth) return a.depth > b.depth;
+  if (a.start != b.start) return a.start > b.start;
+  return a.id > b.id;
+}
+
+}  // namespace
+
+Attribution attributeAccess(const std::vector<Span>& spans, SpanId access_id) {
+  Attribution out;
+  out.access = access_id;
+  if (access_id == 0 || access_id > spans.size()) return out;
+  const Span& access = spans[access_id - 1];
+  if (access.kind != SpanKind::kAccess) return out;
+  out.ok = access.status == SpanStatus::kOk;
+  if (access.status == SpanStatus::kOpen || access.end <= access.start)
+    return out;  // never closed: nothing to attribute
+  out.total = access.end - access.start;
+
+  // Subtree walk: parents always precede children in id order, so one pass
+  // over ids above the access suffices. depth[i] == 0 means "not in subtree".
+  std::vector<int> depth(spans.size() + 1, 0);
+  std::vector<ClampedSpan> active_set;
+  std::vector<sim::Time> bounds{access.start, access.end};
+  for (SpanId id = access_id + 1; id <= spans.size(); ++id) {
+    const Span& s = spans[id - 1];
+    int d = 0;
+    if (s.parent == access_id) {
+      d = 1;
+    } else if (s.parent != 0 && s.parent < id && depth[s.parent] > 0) {
+      d = depth[s.parent] + 1;
+    } else {
+      continue;
+    }
+    depth[id] = d;
+    ++out.counts[static_cast<std::size_t>(s.kind)];
+    if (s.status == SpanStatus::kError)
+      ++out.errors[static_cast<std::size_t>(s.kind)];
+    // Clamp to the access interval; open descendants run to the access end.
+    const sim::Time lo = std::max(s.start, access.start);
+    const sim::Time hi =
+        std::min(s.status == SpanStatus::kOpen ? access.end : s.end,
+                 access.end);
+    if (hi <= lo) continue;
+    active_set.push_back(ClampedSpan{lo, hi, d, id, s.kind});
+    bounds.push_back(lo);
+    bounds.push_back(hi);
+  }
+
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const sim::Time lo = bounds[i];
+    const sim::Time hi = bounds[i + 1];
+    const ClampedSpan* winner = nullptr;
+    for (const ClampedSpan& c : active_set) {
+      if (c.start > lo || c.end < hi) continue;
+      if (winner == nullptr || moreSpecific(c, *winner)) winner = &c;
+    }
+    if (winner == nullptr) {
+      out.self += hi - lo;
+    } else {
+      out.times[static_cast<std::size_t>(winner->kind)] += hi - lo;
+    }
+  }
+  return out;
+}
+
+std::vector<Attribution> attributeAll(const std::vector<Span>& spans) {
+  std::vector<Attribution> out;
+  for (const Span& s : spans) {
+    if (s.kind == SpanKind::kAccess && s.parent == 0)
+      out.push_back(attributeAccess(spans, s.id));
+  }
+  return out;
+}
+
+SpanKind PhaseBreakdown::dominant() const {
+  SpanKind best = SpanKind::kAccess;
+  sim::Time best_time = total_self;
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    if (times[k] > best_time) {
+      best_time = times[k];
+      best = static_cast<SpanKind>(k);
+    }
+  }
+  return best;
+}
+
+bool PhaseBreakdown::sumsMatch() const {
+  sim::Time sum = total_self;
+  for (const sim::Time t : times) sum += t;
+  return sum == total_plt;
+}
+
+PhaseBreakdown aggregateBreakdowns(const std::vector<Attribution>& attrs) {
+  PhaseBreakdown out;
+  for (const Attribution& a : attrs) {
+    ++out.accesses;
+    if (a.ok) ++out.ok_accesses;
+    out.total_plt += a.total;
+    out.total_self += a.self;
+    for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+      out.times[k] += a.times[k];
+      out.counts[k] += a.counts[k];
+      out.errors[k] += a.errors[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::obs

@@ -1,0 +1,66 @@
+// Critical-path latency attribution over SpanTracer trees.
+//
+// For one access span, the question fig. 5 cannot answer is "which phase of
+// this method's stack is the PLT" — DNS? handshake? GFW traversal? the proxy
+// hop? attributeAccess answers it with an exact partition: the access
+// interval is swept over the elementary intervals induced by its descendant
+// spans, and each instant is charged to the *innermost* span active then
+// (ties: the later-started, then higher-id span — deterministic). Instants
+// covered by no descendant are the access's self time (browser parse/render
+// pauses, scheduling gaps). By construction the per-phase times sum to the
+// access duration exactly, in integer microseconds — the acceptance check
+// `phase_sums_match_plt` in BENCH_obs.json rests on this.
+//
+// aggregateBreakdowns folds many attributions into a per-method table:
+// total/self time per phase, span counts, error (retry) counts, and the
+// dominant blocking phase.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace sc::obs {
+
+// One access's PLT partitioned by phase. times[kind] sums (with self) to
+// `total`; counts/errors tally the access's descendant spans per kind.
+struct Attribution {
+  SpanId access = 0;
+  sim::Time total = 0;  // access end - start
+  sim::Time self = 0;   // instants covered by no descendant span
+  std::array<sim::Time, kSpanKindCount> times{};   // attributed time per kind
+  std::array<std::uint32_t, kSpanKindCount> counts{};
+  std::array<std::uint32_t, kSpanKindCount> errors{};  // failed spans (retries)
+  bool ok = false;  // access span ended kOk
+};
+
+// Attributes one access span (must be kind kAccess). Open descendant spans
+// are clamped to the access end; descendants outside the access interval
+// contribute only their overlap.
+Attribution attributeAccess(const std::vector<Span>& spans, SpanId access_id);
+
+// Every kAccess root (parent == 0) in the span set, attributed.
+std::vector<Attribution> attributeAll(const std::vector<Span>& spans);
+
+// Aggregated per-phase breakdown across many accesses (one method cell).
+struct PhaseBreakdown {
+  std::uint64_t accesses = 0;
+  std::uint64_t ok_accesses = 0;
+  sim::Time total_plt = 0;  // sum of access durations
+  sim::Time total_self = 0;
+  std::array<sim::Time, kSpanKindCount> times{};
+  std::array<std::uint64_t, kSpanKindCount> counts{};
+  std::array<std::uint64_t, kSpanKindCount> errors{};
+
+  // The phase with the largest attributed time (the "blocking child");
+  // kAccess when self time dominates every phase.
+  SpanKind dominant() const;
+  // Exact invariant: total_self + sum(times) == total_plt.
+  bool sumsMatch() const;
+};
+
+PhaseBreakdown aggregateBreakdowns(const std::vector<Attribution>& attrs);
+
+}  // namespace sc::obs

@@ -213,4 +213,152 @@ bool dumpTrace(const Tracer& tracer, const std::string& path) {
   });
 }
 
+// ---- span exports ----
+
+std::string spanJson(const Span& span) {
+  std::ostringstream out;
+  out << "{\"id\":" << span.id << ",\"parent\":" << span.parent
+      << ",\"kind\":\"" << spanKindName(span.kind) << "\",\"status\":\""
+      << spanStatusName(span.status) << "\",\"start\":" << span.start
+      << ",\"end\":" << span.end << ",\"tag\":" << span.tag << ",\"what\":\""
+      << jsonEscape(span.what) << "\",\"detail\":\"" << jsonEscape(span.detail)
+      << "\",\"a\":" << span.a << "}";
+  return out.str();
+}
+
+void writeSpansJsonl(const std::vector<Span>& spans, std::ostream& out) {
+  for (const Span& s : spans) out << spanJson(s) << "\n";
+}
+
+std::vector<SpanRow> readSpansJsonl(std::istream& in) {
+  std::vector<SpanRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    SpanRow r;
+    r.id = scanU64(line, "id");
+    r.parent = scanU64(line, "parent");
+    r.kind = scanString(line, "kind");
+    r.status = scanString(line, "status");
+    r.start = scanU64(line, "start");
+    r.end = scanU64(line, "end");
+    r.tag = static_cast<std::uint32_t>(scanU64(line, "tag"));
+    r.what = scanString(line, "what");
+    r.detail = scanString(line, "detail");
+    std::size_t pos = 0;
+    if (findKey(line, "a", pos))
+      r.a = std::strtoll(line.c_str() + pos, nullptr, 10);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+namespace {
+
+// Root of a span's tree (spans are id-dense and parents precede children).
+std::uint64_t rootOf(const std::vector<Span>& spans, std::uint64_t id) {
+  while (id != 0 && id <= spans.size()) {
+    const Span& s = spans[id - 1];
+    if (s.parent == 0) return s.id;
+    id = s.parent;
+  }
+  return id;
+}
+
+sim::Time latestEnd(const std::vector<Span>& spans) {
+  sim::Time latest = 0;
+  for (const Span& s : spans) {
+    latest = std::max(latest, s.start);
+    latest = std::max(latest, s.end);
+  }
+  return latest;
+}
+
+}  // namespace
+
+void writeChromeTrace(const std::vector<Span>& spans, std::ostream& out) {
+  const sim::Time clamp = latestEnd(spans);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    const sim::Time end = s.status == SpanStatus::kOpen ? clamp : s.end;
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << spanKindName(s.kind) << "\",\"cat\":\""
+        << spanStatusName(s.status) << "\",\"ph\":\"X\",\"ts\":" << s.start
+        << ",\"dur\":" << (end > s.start ? end - s.start : 0)
+        << ",\"pid\":" << s.tag << ",\"tid\":" << rootOf(spans, s.id)
+        << ",\"args\":{\"id\":" << s.id << ",\"parent\":" << s.parent
+        << ",\"what\":\"" << jsonEscape(s.what) << "\",\"detail\":\""
+        << jsonEscape(s.detail) << "\",\"a\":" << s.a << "}}";
+  }
+  out << "\n]}\n";
+}
+
+namespace {
+
+void renderTree(const std::vector<Span>& spans,
+                const std::vector<std::vector<std::uint64_t>>& children,
+                std::uint64_t id, int depth, sim::Time root_start,
+                sim::Time root_dur, sim::Time clamp, std::size_t bar_width,
+                std::ostream& out) {
+  const Span& s = spans[id - 1];
+  const sim::Time end = s.status == SpanStatus::kOpen ? clamp : s.end;
+  const sim::Time dur = end > s.start ? end - s.start : 0;
+  std::string bar(bar_width, '.');
+  if (root_dur > 0) {
+    const std::size_t lo = static_cast<std::size_t>(
+        (s.start - root_start) * static_cast<sim::Time>(bar_width) / root_dur);
+    std::size_t hi = static_cast<std::size_t>(
+        (end - root_start) * static_cast<sim::Time>(bar_width) / root_dur);
+    hi = std::min(std::max(hi, lo + 1), bar_width);
+    for (std::size_t i = lo; i < hi; ++i) bar[i] = '#';
+  }
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", static_cast<double>(dur) / 1000.0);
+  out << "[" << bar << "] ";
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << spanKindName(s.kind) << " #" << s.id << " " << ms << "ms "
+      << spanStatusName(s.status);
+  if (s.what[0] != '\0') out << " what=" << s.what;
+  if (!s.detail.empty()) out << " detail=" << s.detail;
+  out << "\n";
+  for (const std::uint64_t child : children[id]) {
+    renderTree(spans, children, child, depth + 1, root_start, root_dur, clamp,
+               bar_width, out);
+  }
+}
+
+}  // namespace
+
+void renderWaterfall(const std::vector<Span>& spans, std::ostream& out,
+                     std::size_t bar_width) {
+  if (bar_width == 0) bar_width = 1;
+  const sim::Time clamp = latestEnd(spans);
+  std::vector<std::vector<std::uint64_t>> children(spans.size() + 1);
+  for (const Span& s : spans) {
+    if (s.parent != 0 && s.parent < s.id) children[s.parent].push_back(s.id);
+  }
+  for (const Span& s : spans) {
+    if (s.parent != 0) continue;
+    const sim::Time end = s.status == SpanStatus::kOpen ? clamp : s.end;
+    renderTree(spans, children, s.id, 0, s.start,
+               end > s.start ? end - s.start : 0, clamp, bar_width, out);
+  }
+}
+
+bool dumpSpans(const SpanTracer& spans, const std::string& path) {
+  const bool chrome =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  return openAndWrite(path, [&](std::ostream& out) {
+    chrome ? writeChromeTrace(spans.spans(), out)
+           : writeSpansJsonl(spans.spans(), out);
+  });
+}
+
+bool dumpChromeTrace(const SpanTracer& spans, const std::string& path) {
+  return openAndWrite(
+      path, [&](std::ostream& out) { writeChromeTrace(spans.spans(), out); });
+}
+
 }  // namespace sc::obs

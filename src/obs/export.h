@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/tracer.h"
 
 namespace sc::obs {
@@ -32,5 +33,47 @@ bool dumpTrace(const Tracer& tracer, const std::string& path);
 // A single trace line rendered as JSON (used by both writeTraceJsonl and
 // callers that want to print a few events, e.g. examples).
 std::string traceEventJson(const Event& ev);
+
+// ---- span exports ----
+
+// One span rendered as a JSON object (one JSONL line, sans newline).
+std::string spanJson(const Span& span);
+
+// One line per span, in id order — deterministic byte-for-byte for a given
+// span set, which is what the parallel-vs-serial identity tests compare.
+void writeSpansJsonl(const std::vector<Span>& spans, std::ostream& out);
+
+// Parsed form of one spans-JSONL line; kind/status/what come back as the
+// exported names (Span::what is a static literal, so the parse cannot
+// reconstruct a Span verbatim — tests compare against spanKindName etc.).
+struct SpanRow {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string kind;
+  std::string status;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint32_t tag = 0;
+  std::string what;
+  std::string detail;
+  std::int64_t a = 0;
+};
+std::vector<SpanRow> readSpansJsonl(std::istream& in);
+
+// Chrome trace_event JSON (load in chrome://tracing or Perfetto): one "X"
+// complete event per span, ts/dur in microseconds (== sim::Time units),
+// pid = measurement tag, tid = root span of the tree so each access gets
+// its own track. Open spans are clamped to the latest end in the set.
+void writeChromeTrace(const std::vector<Span>& spans, std::ostream& out);
+
+// Plain-text waterfall: one tree per root span, children indented, with a
+// bar scaled to the root's duration. For terminals and EXPERIMENTS.md.
+void renderWaterfall(const std::vector<Span>& spans, std::ostream& out,
+                     std::size_t bar_width = 48);
+
+// File-path conveniences mirroring dumpTrace. dumpSpans writes JSONL unless
+// the path ends in ".json", which selects the Chrome trace format.
+bool dumpSpans(const SpanTracer& spans, const std::string& path);
+bool dumpChromeTrace(const SpanTracer& spans, const std::string& path);
 
 }  // namespace sc::obs

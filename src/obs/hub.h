@@ -1,15 +1,22 @@
-// The Hub bundles one Registry + one Tracer and attaches them to a
-// Simulator, which is the one object every subsystem already holds a path
-// to (Network::sim(), HostStack::sim(), Tunnel's sim_, ...). Instrumented
-// code asks the simulator for its hub instead of having observability
-// plumbed through every constructor.
+// The Hub bundles one Registry + one Tracer + one SpanTracer (and an
+// optional SloEngine) and attaches them to a Simulator, which is the one
+// object every subsystem already holds a path to (Network::sim(),
+// HostStack::sim(), Tunnel's sim_, ...). Instrumented code asks the
+// simulator for its hub instead of having observability plumbed through
+// every constructor.
 //
 // sim::Simulator only forward-declares Hub and stores a raw pointer, so
 // sc_sim does not depend on sc_obs; everything above (net, gfw, core,
 // transport, measure) links sc_obs and includes this header.
 #pragma once
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "obs/registry.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
 
@@ -18,7 +25,11 @@ namespace sc::obs {
 class Hub {
  public:
   // Installs itself on `sim` for its lifetime.
-  explicit Hub(sim::Simulator& sim) : sim_(sim) { sim_.setHub(this); }
+  explicit Hub(sim::Simulator& sim) : sim_(sim) {
+    sim_.setHub(this);
+    spans_.setClock(&sim_);
+    spans_.setEventMirror(&tracer_);
+  }
   ~Hub() {
     if (sim_.hub() == this) sim_.setHub(nullptr);
   }
@@ -28,13 +39,27 @@ class Hub {
 
   Registry& registry() noexcept { return registry_; }
   Tracer& tracer() noexcept { return tracer_; }
+  SpanTracer& spans() noexcept { return spans_; }
   const Registry& registry() const noexcept { return registry_; }
   const Tracer& tracer() const noexcept { return tracer_; }
+  const SpanTracer& spans() const noexcept { return spans_; }
+
+  // SLO evaluation is opt-in (it holds a sample window per world). The
+  // engine is bound to this hub's registry + tracer; re-installing replaces
+  // the previous engine and its alert state.
+  SloEngine& installSlo(SloConfig config = {}) {
+    slo_ = std::make_unique<SloEngine>(config);
+    slo_->bind(&registry_, &tracer_);
+    return *slo_;
+  }
+  SloEngine* slo() const noexcept { return slo_.get(); }
 
  private:
   sim::Simulator& sim_;
   Registry registry_;
   Tracer tracer_;
+  SpanTracer spans_;
+  std::unique_ptr<SloEngine> slo_;
 };
 
 // Null when no hub is installed — callers guard every instrument pointer.
@@ -49,5 +74,38 @@ inline Tracer* tracerOf(sim::Simulator& sim) {
   Hub* h = sim.hub();
   return h != nullptr && h->tracer().enabled() ? &h->tracer() : nullptr;
 }
+
+// Same discipline for span recording: null when absent or disabled.
+inline SpanTracer* spansOf(sim::Simulator& sim) {
+  Hub* h = sim.hub();
+  return h != nullptr && h->spans().enabled() ? &h->spans() : nullptr;
+}
+
+// Fan-out for Tracer::setSink, which holds exactly ONE live tap (install
+// order lost a sink silently before this existed — the chaos
+// RecoveryTracker and a span collector could not coexist). Add every
+// observer to a MultiSink and install once; sinks run in add order and all
+// of them see every event. Copies share state, so observers can keep adding
+// after installation.
+class MultiSink {
+ public:
+  MultiSink() : sinks_(std::make_shared<std::vector<Tracer::Sink>>()) {}
+
+  void add(Tracer::Sink sink) {
+    if (sink) sinks_->push_back(std::move(sink));
+  }
+  std::size_t size() const noexcept { return sinks_->size(); }
+
+  // The installable fan-out sink (also usable directly as a callable).
+  Tracer::Sink sink() const {
+    return [sinks = sinks_](const Event& ev) {
+      for (const auto& s : *sinks) s(ev);
+    };
+  }
+  void installOn(Tracer& tracer) const { tracer.setSink(sink()); }
+
+ private:
+  std::shared_ptr<std::vector<Tracer::Sink>> sinks_;
+};
 
 }  // namespace sc::obs

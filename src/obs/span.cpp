@@ -1,0 +1,119 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace sc::obs {
+
+const char* spanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAccess: return "access";
+    case SpanKind::kDnsLookup: return "dns_lookup";
+    case SpanKind::kTcpConnect: return "tcp_connect";
+    case SpanKind::kTlsHandshake: return "tls_handshake";
+    case SpanKind::kTunnelHandshake: return "tunnel_handshake";
+    case SpanKind::kGfwTraversal: return "gfw_traversal";
+    case SpanKind::kProxyHop: return "proxy_hop";
+    case SpanKind::kCacheLookup: return "cache_lookup";
+    case SpanKind::kUpstreamFetch: return "upstream_fetch";
+  }
+  return "?";
+}
+
+const char* spanStatusName(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOpen: return "open";
+    case SpanStatus::kOk: return "ok";
+    case SpanStatus::kError: return "error";
+    case SpanStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+void SpanTracer::enable(std::size_t reserve) {
+  enabled_ = true;
+  spans_.reserve(reserve);
+}
+
+void SpanTracer::disable() { enabled_ = false; }
+
+void SpanTracer::clear() {
+  spans_.clear();
+  context_.clear();
+  open_ = 0;
+}
+
+Span* SpanTracer::find(SpanId id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+SpanId SpanTracer::begin(SpanKind kind, std::uint32_t tag, const char* what,
+                         std::string detail) {
+  if (!enabled_) return 0;
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = current(tag);
+  span.kind = kind;
+  span.tag = tag;
+  span.what = what;
+  span.detail = std::move(detail);
+  span.start = clock_ == nullptr ? 0 : clock_->now();
+  spans_.push_back(std::move(span));
+  ++open_;
+  return spans_.back().id;
+}
+
+SpanId SpanTracer::push(SpanKind kind, std::uint32_t tag, const char* what,
+                        std::string detail) {
+  const SpanId id = begin(kind, tag, what, std::move(detail));
+  if (id != 0) context_[tag].push_back(id);
+  return id;
+}
+
+void SpanTracer::end(SpanId id, SpanStatus status, std::int64_t a) {
+  Span* span = find(id);
+  if (span == nullptr || span->status != SpanStatus::kOpen) return;
+  span->status = status;
+  span->a = a;
+  span->end = clock_ == nullptr ? span->start : clock_->now();
+  if (open_ > 0) --open_;
+  if (mirror_ != nullptr && mirror_->enabled()) {
+    Event ev;
+    ev.at = span->end;
+    ev.type = EventType::kSpanEnd;
+    ev.what = spanKindName(span->kind);
+    ev.detail = span->detail;
+    ev.tag = span->tag;
+    ev.pkt_id = span->id;
+    ev.a = span->end - span->start;
+    mirror_->record(std::move(ev));
+  }
+}
+
+void SpanTracer::pop(SpanId id, SpanStatus status, std::int64_t a) {
+  Span* span = find(id);
+  if (span == nullptr) return;
+  auto it = context_.find(span->tag);
+  if (it != context_.end()) {
+    auto& stack = it->second;
+    const auto pos = std::find(stack.rbegin(), stack.rend(), id);
+    if (pos != stack.rend()) stack.erase(std::next(pos).base());
+    if (stack.empty()) context_.erase(it);
+  }
+  end(id, status, a);
+}
+
+void SpanTracer::setWhat(SpanId id, const char* what) {
+  if (Span* span = find(id)) span->what = what;
+}
+
+SpanId SpanTracer::current(std::uint32_t tag) const {
+  const auto it = context_.find(tag);
+  if (it == context_.end() || it->second.empty()) return 0;
+  return it->second.back();
+}
+
+}  // namespace sc::obs

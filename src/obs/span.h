@@ -1,0 +1,143 @@
+// Second observability tier: causal span trees over the flat event Tracer.
+//
+// Where the Tracer answers "what happened" (a point event per drop, verdict,
+// probe), the SpanTracer answers "where did the time go": every access is a
+// tree of timed phases — access → DNS lookup → TCP connect → TLS/tunnel
+// handshake → GFW traversal → proxy hop → cache lookup → upstream fetch —
+// with parent links, status, and sim-time bounds. The critical-path analyzer
+// (obs/critpath.h) folds these trees into per-method phase attributions whose
+// sums equal end-to-end PLT exactly.
+//
+// Cost discipline: same contract as the Tracer. Disabled (the default), every
+// call site pays a pointer load and a branch via obs::spansOf. Enabled,
+// begin/end are a vector push / indexed write; no allocation beyond the
+// span storage itself.
+//
+// Causality without context-threading: the simulator is single-threaded per
+// world and every instrumented layer already carries the client's measure
+// tag, so the tracer keeps one open-span stack *per tag*. An access pushes
+// itself as the tag's context; every phase recorded for that tag while the
+// access is open parents to it; pop restores the outer context. Phases that
+// fire outside any access (VPN dial-up during setup, proxy-side work under
+// the tunnel tag) become roots — visible in the waterfall, excluded from
+// per-access attribution.
+//
+// Determinism: ids are dense (1, 2, 3, ... in begin order), times are
+// sim::Time only, `what` is a static literal, `detail` is owned. Two runs
+// with the same seed emit byte-identical span files at any thread count
+// (each ParallelRunner cell owns its Hub and therefore its SpanTracer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sc::sim {
+class Simulator;
+}  // namespace sc::sim
+
+namespace sc::obs {
+
+class Tracer;
+
+enum class SpanKind : std::uint8_t {
+  kAccess,           // one page load, client-clocked (duration == PLT)
+  kDnsLookup,        // resolver query incl. retries (what="cache" on hits)
+  kTcpConnect,       // SYN -> established (or SYN-retry exhaustion / RST)
+  kTlsHandshake,     // ClientHello -> Finished (what="resumed" on tickets)
+  kTunnelHandshake,  // VPN dial / Tor bootstrap / SS auth / SC mux dial
+  kGfwTraversal,     // border flow: first packet -> classified/killed
+  kProxyHop,         // proxy leg: CONNECT/SOCKS negotiation or server pick
+  kCacheLookup,      // domestic/fleet response-cache consult
+  kUpstreamFetch,    // one HTTP request/response on an acquired stream
+};
+
+// Number of SpanKind values (used by exhaustiveness tests and aggregation).
+inline constexpr std::size_t kSpanKindCount = 9;
+
+const char* spanKindName(SpanKind kind);
+
+enum class SpanStatus : std::uint8_t {
+  kOpen,       // begun, not yet ended (exports clamp to trace end)
+  kOk,
+  kError,
+  kCancelled,  // abandoned without a verdict (e.g. flow GC'd mid-classify)
+};
+
+const char* spanStatusName(SpanStatus status);
+
+// Dense 1-based id; 0 means "none" (root parent, invalid handle).
+using SpanId = std::uint64_t;
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  SpanKind kind = SpanKind::kAccess;
+  SpanStatus status = SpanStatus::kOpen;
+  sim::Time start = 0;
+  sim::Time end = 0;       // 0 while open
+  std::uint32_t tag = 0;   // measurement tag (causal context key)
+  const char* what = "";   // static literal refinement ("cache", "resumed")
+  std::string detail;      // dynamic: hostname, endpoint name
+  std::int64_t a = 0;      // kind-specific scalar (status code, bytes, hops)
+};
+
+class SpanTracer {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void enable(std::size_t reserve = 4096);
+  void disable();
+  void clear();
+
+  // Begins a span parented to `tag`'s current context (or a root). Callers
+  // are expected to have checked enabled(); a disabled begin returns 0 and
+  // every mutator ignores id 0, so call sites stay branch-cheap and safe.
+  SpanId begin(SpanKind kind, std::uint32_t tag, const char* what = "",
+               std::string detail = {});
+  // begin() + make the new span `tag`'s current context (spans expecting
+  // children — the access root, a nested tunnel dial).
+  SpanId push(SpanKind kind, std::uint32_t tag, const char* what = "",
+              std::string detail = {});
+
+  // Ends the span (records end time + status). pop() additionally removes it
+  // from its tag's context stack wherever it sits — concurrent pushes under
+  // one tag may finish out of order. Both are no-ops for id 0 or an already
+  // ended span, so stale handles after clear() cannot corrupt later spans.
+  void end(SpanId id, SpanStatus status, std::int64_t a = 0);
+  void pop(SpanId id, SpanStatus status, std::int64_t a = 0);
+
+  // Late refinement of an open span ("this lookup was served from cache").
+  void setWhat(SpanId id, const char* what);
+
+  // `tag`'s current context span id (0 when none).
+  SpanId current(std::uint32_t tag) const;
+
+  // Clock for start/end stamps; the Hub wires its Simulator here so call
+  // sites never pass timestamps (begin/end always mean "now").
+  void setClock(const sim::Simulator* sim) noexcept { clock_ = sim; }
+
+  // Mirror span completions into an event Tracer as kSpanEnd events (live
+  // taps like the chaos RecoveryTracker see phase timings without reading
+  // span storage; the ring may overwrite them — span storage never does).
+  void setEventMirror(Tracer* tracer) noexcept { mirror_ = tracer; }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  std::size_t openSpans() const noexcept { return open_; }
+
+ private:
+  Span* find(SpanId id);
+
+  bool enabled_ = false;
+  std::vector<Span> spans_;  // spans_[id - 1] is span `id`
+  std::size_t open_ = 0;
+  // tag -> open context stack (innermost last). std::map: tags are iterated
+  // only via lookups, but determinism discipline says no unordered here.
+  std::map<std::uint32_t, std::vector<SpanId>> context_;
+  Tracer* mirror_ = nullptr;
+  const sim::Simulator* clock_ = nullptr;
+};
+
+}  // namespace sc::obs

@@ -21,6 +21,8 @@ const char* eventTypeName(EventType type) {
     case EventType::kCacheLookup: return "cache_lookup";
     case EventType::kChaosFault: return "chaos_fault";
     case EventType::kAccessOutcome: return "access_outcome";
+    case EventType::kSpanEnd: return "span_end";
+    case EventType::kSloAlert: return "slo_alert";
   }
   return "?";
 }

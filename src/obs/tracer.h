@@ -44,7 +44,17 @@ enum class EventType : std::uint8_t {
   kChaosFault,     // what="begin"|"end"|"unhandled", detail=kind:target,
                    // a=fault id within the script
   kAccessOutcome,  // what="ok"|"fail", a=latency us (ok) / -1 (fail)
+  kSpanEnd,        // span completion mirrored by the SpanTracer:
+                   // what=span kind name, pkt_id=span id, a=duration us
+  kSloAlert,       // what="page"|"ticket"|"clear", detail=SLO name,
+                   // a=burn rate x1000 at evaluation time
 };
+
+// Number of EventType values. Keep in sync when adding enum values; the
+// exhaustiveness test in test_obs.cpp walks [0, kEventTypeCount) and fails
+// on any missing or duplicate eventTypeName.
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kSloAlert) + 1;
 
 const char* eventTypeName(EventType type);
 

@@ -2,6 +2,7 @@
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "obs/hub.h"
 
 namespace sc::openvpn {
 
@@ -149,7 +150,15 @@ void OpenVpnClient::finish(bool ok, const std::string& error) {
 }
 
 void OpenVpnClient::connect(ConnectCb cb) {
-  connect_cb_ = std::move(cb);
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "openvpn",
+                     config_.remote.str());
+  connect_cb_ = [this, span, cb = std::move(cb)](bool ok, std::string error) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(span, ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError);
+    cb(ok, std::move(error));
+  };
   const std::string config_error = config_.validate();
   if (!config_error.empty()) {
     finish(false, config_error);

@@ -1,6 +1,7 @@
 #include "shadowsocks/shadowsocks.h"
 
 #include "crypto/hmac.h"
+#include "obs/hub.h"
 
 namespace sc::shadowsocks {
 
@@ -215,6 +216,11 @@ ShadowsocksLocal::ShadowsocksLocal(transport::HostStack& stack,
 }
 
 void ShadowsocksLocal::failAuthChannel() {
+  if (auth_span_ != 0) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(auth_span_, obs::SpanStatus::kError);
+    auth_span_ = 0;
+  }
   auth_established_ = false;
   auth_establishing_ = false;
   auth_got_nonce_ = false;
@@ -256,6 +262,9 @@ void ShadowsocksLocal::establishAuthChannel() {
   auth_establishing_ = true;
   auth_got_nonce_ = false;
   ++auth_round_trips_;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    auth_span_ = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "ss-auth",
+                           options_.remote.str());
   auto holder = std::make_shared<transport::TcpSocket::Ptr>();
   *holder = stack_.tcpConnect(
       net::Endpoint{options_.remote.ip, kDefaultAuthPort},
@@ -286,6 +295,11 @@ void ShadowsocksLocal::establishAuthChannel() {
           auth_established_ = true;
           auth_establishing_ = false;
           auth_last_used_ = stack_.sim().now();
+          if (auth_span_ != 0) {
+            if (auto* sp = obs::spansOf(stack_.sim()))
+              sp->end(auth_span_, obs::SpanStatus::kOk);
+            auth_span_ = 0;
+          }
           auto waiting = std::move(waiting_for_channel_);
           waiting_for_channel_.clear();
           for (auto& cb : waiting) sendApproval(std::move(cb));

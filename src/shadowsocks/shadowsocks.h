@@ -120,6 +120,7 @@ class ShadowsocksLocal {
 
   // ---- auth channel state ----
   transport::TcpSocket::Ptr auth_sock_;
+  std::uint64_t auth_span_ = 0;  // obs::SpanId for the channel handshake
   bool auth_established_ = false;
   bool auth_establishing_ = false;
   bool auth_got_nonce_ = false;

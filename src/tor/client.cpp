@@ -1,5 +1,7 @@
 #include "tor/client.h"
 
+#include "obs/hub.h"
+
 namespace sc::tor {
 
 // App stream: the client end of a RELAY_BEGIN stream.
@@ -74,6 +76,8 @@ void TorClient::bootstrap(std::function<void(bool)> cb) {
   }
   state_ = State::kBootstrapping;
   bootstrap_started_ = stack_.sim().now();
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    bootstrap_span_ = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "tor");
 
   fetchConsensus([this](std::vector<RelayDescriptor> relays) {
     consensus_ = std::move(relays);
@@ -272,6 +276,15 @@ void TorClient::extendNext() {
 }
 
 void TorClient::bootstrapDone(bool ok) {
+  if (bootstrap_span_ != 0) {
+    if (auto* sp = obs::spansOf(stack_.sim())) {
+      if (ok) sp->setWhat(bootstrap_span_, used_meek_ ? "tor-meek" : "tor");
+      sp->end(bootstrap_span_,
+              ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError,
+              static_cast<std::int64_t>(circuits_built_));
+    }
+    bootstrap_span_ = 0;
+  }
   if (!ok) state_ = State::kIdle;
   auto waiters = std::move(waiting_);
   waiting_.clear();

@@ -95,6 +95,7 @@ class TorClient {
   std::vector<std::function<void(bool)>> waiting_;
   sim::Time bootstrap_started_ = 0;
   sim::Time bootstrap_time_ = 0;
+  std::uint64_t bootstrap_span_ = 0;  // obs::SpanId for the whole bootstrap
   bool used_meek_ = false;
   int circuits_built_ = 0;
 

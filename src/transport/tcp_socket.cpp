@@ -41,6 +41,9 @@ TcpSocket::~TcpSocket() { rto_timer_.cancel(); }
 
 void TcpSocket::connect(ConnectHandler cb) {
   on_connect_ = std::move(cb);
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    connect_span_ = sp->begin(obs::SpanKind::kTcpConnect, measure_tag_, "",
+                              remote_.str());
   state_ = State::kSynSent;
   iss_ = static_cast<std::uint32_t>(stack_.sim().rng().nextU64());
   snd_una_ = iss_;
@@ -179,6 +182,8 @@ void TcpSocket::onRetransmitTimeout() {
 
   if (state_ == State::kSynSent || state_ == State::kSynReceived) {
     if (++syn_retries_ > kMaxSynRetries) {
+      if (auto* sp = obs::spansOf(stack_.sim()))
+        sp->end(connect_span_, obs::SpanStatus::kError, syn_retries_);
       if (on_connect_) {
         auto cb = std::move(on_connect_);
         cb(false);
@@ -232,6 +237,10 @@ void TcpSocket::updateRttEstimate(sim::Time sample) {
 
 void TcpSocket::enterEstablished() {
   state_ = State::kEstablished;
+  if (connect_span_ != 0) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(connect_span_, obs::SpanStatus::kOk, syn_retries_);
+  }
   if (on_connect_) {
     auto cb = std::move(on_connect_);
     cb(true);
@@ -354,9 +363,13 @@ void TcpSocket::onPacket(const net::Packet& pkt) {
 
   if (t.flags.rst) {
     const bool was_connecting = state_ == State::kSynSent;
-    if (was_connecting && on_connect_) {
-      auto cb = std::move(on_connect_);
-      cb(false);
+    if (was_connecting) {
+      if (auto* sp = obs::spansOf(stack_.sim()))
+        sp->end(connect_span_, obs::SpanStatus::kError, -1);
+      if (on_connect_) {
+        auto cb = std::move(on_connect_);
+        cb(false);
+      }
     }
     teardown(/*reset=*/true);
     return;

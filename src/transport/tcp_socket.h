@@ -150,6 +150,7 @@ class TcpSocket final : public Stream,
 
   Stats stats_;
   bool registered_ = false;
+  std::uint64_t connect_span_ = 0;  // obs::SpanId; client connect() only
 
   friend class HostStack;
 };

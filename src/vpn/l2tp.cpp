@@ -1,6 +1,7 @@
 #include "vpn/l2tp.h"
 
 #include "crypto/hmac.h"
+#include "obs/hub.h"
 
 namespace sc::vpn {
 
@@ -118,7 +119,15 @@ net::Ipv4 L2tpClient::innerIp() const {
 }
 
 void L2tpClient::connect(ConnectCb cb) {
-  connect_cb_ = std::move(cb);
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "l2tp",
+                     server_.str());
+  connect_cb_ = [this, span, cb = std::move(cb)](bool ok) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(span, ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError);
+    cb(ok);
+  };
   control_port_ = stack_.allocatePort();
   const Bytes nonce = stack_.sim().rng().randomBytes(16);
 

@@ -1,5 +1,7 @@
 #include "vpn/pptp.h"
 
+#include "obs/hub.h"
+
 namespace sc::vpn {
 
 namespace {
@@ -113,7 +115,15 @@ std::uint64_t PptpClient::packetsTunneled() const {
 }
 
 void PptpClient::connect(ConnectCb cb) {
-  connect_cb_ = std::move(cb);
+  obs::SpanId span = 0;
+  if (auto* sp = obs::spansOf(stack_.sim()))
+    span = sp->begin(obs::SpanKind::kTunnelHandshake, tag_, "pptp",
+                     server_.str());
+  connect_cb_ = [this, span, cb = std::move(cb)](bool ok) {
+    if (auto* sp = obs::spansOf(stack_.sim()))
+      sp->end(span, ok ? obs::SpanStatus::kOk : obs::SpanStatus::kError);
+    cb(ok);
+  };
   control_ = stack_.tcpConnect(
       server_,
       [this](bool ok) {
