@@ -22,7 +22,7 @@ const char* flowClassName(FlowClass cls) {
   return "?";
 }
 
-std::optional<TlsHelloInfo> parseClientHello(ByteView payload) {
+std::optional<TlsHelloView> parseClientHelloView(ByteView payload) {
   // Record: 0x16, version u16, length u16; message: tag 1, sni, fingerprint.
   std::size_t off = 0;
   std::uint8_t rec_type = 0, msg_tag = 0;
@@ -32,56 +32,78 @@ std::optional<TlsHelloInfo> parseClientHello(ByteView payload) {
     return std::nullopt;
   if (!readU8(payload, off, msg_tag) || msg_tag != 1) return std::nullopt;
 
-  TlsHelloInfo info;
+  const std::string_view text = asStringView(payload);
+  TlsHelloView info;
   std::uint16_t len = 0;
-  Bytes raw;
-  if (!readU16(payload, off, len) || !readBytes(payload, off, len, raw))
+  if (!readU16(payload, off, len) || off + len > payload.size())
     return std::nullopt;
-  info.sni = toString(raw);
-  if (!readU16(payload, off, len) || !readBytes(payload, off, len, raw))
+  info.sni = text.substr(off, len);
+  off += len;
+  if (!readU16(payload, off, len) || off + len > payload.size())
     return std::nullopt;
-  info.fingerprint = toString(raw);
+  info.fingerprint = text.substr(off, len);
   return info;
 }
 
-std::optional<std::string> extractHttpHost(ByteView payload) {
-  const std::string text = toString(payload);
+std::optional<TlsHelloInfo> parseClientHello(ByteView payload) {
+  const auto view = parseClientHelloView(payload);
+  if (!view) return std::nullopt;
+  return TlsHelloInfo{std::string(view->sni), std::string(view->fingerprint)};
+}
+
+std::optional<std::string_view> extractHttpHostView(std::string_view text) {
   // Only bother when it actually looks like an HTTP request line.
-  static constexpr const char* kMethods[] = {"GET ",  "POST ", "HEAD ",
-                                             "PUT ",  "CONNECT ", "DELETE "};
+  static constexpr std::string_view kMethods[] = {"GET ",  "POST ", "HEAD ",
+                                                  "PUT ",  "CONNECT ",
+                                                  "DELETE "};
   bool is_http = false;
-  for (const char* m : kMethods) {
+  for (const std::string_view m : kMethods) {
     if (startsWith(text, m)) {
       is_http = true;
       break;
     }
   }
   if (!is_http) return std::nullopt;
-  for (const auto& line : splitString(text, '\n')) {
+  // One walk over the '\n'-separated lines (the final segment after the last
+  // newline included, matching splitString's segmentation).
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line =
+        nl == std::string_view::npos ? text.substr(start)
+                                     : text.substr(start, nl - start);
     const auto trimmed = trimWhitespace(line);
     if (iequals(trimmed.substr(0, 5), "host:"))
-      return std::string(trimWhitespace(trimmed.substr(5)));
+      return trimWhitespace(trimmed.substr(5));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
   }
   // Request line may carry an absolute URI or authority form.
-  const auto first_line = splitString(text, '\n').front();
-  const auto parts = splitString(first_line, ' ');
-  if (parts.size() >= 2) {
-    std::string_view target = parts[1];
+  const std::string_view first_line = text.substr(0, text.find('\n'));
+  const std::size_t sp = first_line.find(' ');
+  if (sp != std::string_view::npos) {
+    std::string_view target = first_line.substr(sp + 1);
+    const std::size_t sp2 = target.find(' ');
+    if (sp2 != std::string_view::npos) target = target.substr(0, sp2);
     const auto scheme = target.find("://");
     if (scheme != std::string_view::npos) {
       target.remove_prefix(scheme + 3);
       const auto slash = target.find('/');
       const auto colon = target.find(':');
-      return std::string(target.substr(0, std::min(slash, colon)));
+      return target.substr(0, std::min(slash, colon));
     }
   }
-  return std::string{};
+  return std::string_view{};
 }
 
-bool isTorLikeFingerprint(const std::string& fingerprint) {
-  const std::string lower = toLower(fingerprint);
-  return lower.find("tor") != std::string::npos ||
-         lower.find("meek") != std::string::npos;
+std::optional<std::string> extractHttpHost(ByteView payload) {
+  const auto view = extractHttpHostView(asStringView(payload));
+  if (!view) return std::nullopt;
+  return std::string(*view);
+}
+
+bool isTorLikeFingerprint(std::string_view fingerprint) {
+  return icontains(fingerprint, "tor") || icontains(fingerprint, "meek");
 }
 
 FlowClass classifyTcpPayload(const net::Packet& pkt,

@@ -32,8 +32,23 @@ struct TlsHelloInfo {
 };
 std::optional<TlsHelloInfo> parseClientHello(ByteView payload);
 
+// Zero-copy variant: the views alias `payload` and are valid only while the
+// packet buffer lives. This is what the per-packet hot path uses; the
+// copying overload above remains for callers that keep the strings.
+struct TlsHelloView {
+  std::string_view sni;
+  std::string_view fingerprint;
+};
+std::optional<TlsHelloView> parseClientHelloView(ByteView payload);
+
 // Extracts the Host header value from a plaintext HTTP request prefix.
 std::optional<std::string> extractHttpHost(ByteView payload);
+
+// Zero-copy variant over the request text: one forward walk over the lines
+// (the copying overload used to split the text twice and copy every line).
+// The returned view aliases `text`. Engaged-but-empty mirrors the copying
+// overload: "looks like HTTP, no host found".
+std::optional<std::string_view> extractHttpHostView(std::string_view text);
 
 struct ClassifierThresholds {
   double entropy_threshold_bits = 7.0;
@@ -44,7 +59,7 @@ struct ClassifierThresholds {
 // TLS fingerprints the GFW recognizes as circumvention stacks. The real GFW
 // learned Tor's cipher-suite list (Winter & Lindskog) and later meek's
 // quirks; we model that knowledge as a substring match.
-bool isTorLikeFingerprint(const std::string& fingerprint);
+bool isTorLikeFingerprint(std::string_view fingerprint);
 
 // Classifies the first client->server payload of a TCP flow.
 FlowClass classifyTcpPayload(const net::Packet& pkt,

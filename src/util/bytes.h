@@ -21,6 +21,12 @@ using ByteView = std::span<const std::uint8_t>;
 Bytes toBytes(std::string_view s);
 std::string toString(ByteView b);
 
+// Zero-copy reinterpretation of a byte span as text. The view aliases the
+// underlying buffer — valid only while that buffer lives.
+inline std::string_view asStringView(ByteView b) noexcept {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
 // Hex encoding, lowercase. decodeHex returns empty on malformed input.
 std::string toHex(ByteView b);
 Bytes fromHex(std::string_view hex);

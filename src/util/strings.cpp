@@ -54,6 +54,19 @@ bool iequals(std::string_view a, std::string_view b) {
   return true;
 }
 
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    std::size_t j = 0;
+    while (j < needle.size() &&
+           asciiLower(haystack[i + j]) == asciiLower(needle[j]))
+      ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
 bool shExpMatch(std::string_view text, std::string_view pattern) {
   // Iterative glob with single '*' backtracking point.
   std::size_t t = 0, p = 0;

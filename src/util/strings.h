@@ -14,6 +14,16 @@ bool startsWith(std::string_view s, std::string_view prefix);
 bool endsWith(std::string_view s, std::string_view suffix);
 bool iequals(std::string_view a, std::string_view b);
 
+// ASCII-only case fold, locale-independent (bytes >= 0x80 map to
+// themselves, matching std::tolower in the "C" locale the DPI path and the
+// PAC evaluator both assume).
+constexpr char asciiLower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Case-insensitive substring search without allocating a lowered copy.
+bool icontains(std::string_view haystack, std::string_view needle);
+
 // Shell-style glob used by PAC shExpMatch(): '*' matches any run, '?' one char.
 bool shExpMatch(std::string_view text, std::string_view pattern);
 
