@@ -1,49 +1,58 @@
 #include "crypto/entropy.h"
 
-#include <array>
 #include <cmath>
 
 namespace sc::crypto {
 
 namespace {
-std::array<std::size_t, 256> histogram(ByteView data) {
-  std::array<std::size_t, 256> h{};
+ByteHistogram histogram(ByteView data) {
+  ByteHistogram h{};
   for (std::uint8_t b : data) ++h[b];
   return h;
 }
 }  // namespace
 
-double shannonEntropy(ByteView data) {
-  if (data.empty()) return 0.0;
-  const auto h = histogram(data);
-  const double n = static_cast<double>(data.size());
+double shannonEntropy(const ByteHistogram& h, std::uint64_t n) {
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
   double e = 0.0;
-  for (std::size_t c : h) {
+  for (std::uint32_t c : h) {
     if (c == 0) continue;
-    const double p = static_cast<double>(c) / n;
+    const double p = static_cast<double>(c) / dn;
     e -= p * std::log2(p);
   }
   return e;
 }
 
-double printableFraction(ByteView data) {
-  if (data.empty()) return 0.0;
-  std::size_t printable = 0;
-  for (std::uint8_t b : data)
-    if (b >= 0x20 && b <= 0x7e) ++printable;
-  return static_cast<double>(printable) / static_cast<double>(data.size());
+double shannonEntropy(ByteView data) {
+  return shannonEntropy(histogram(data), data.size());
 }
 
-double chiSquaredUniform(ByteView data) {
-  if (data.empty()) return 0.0;
-  const auto h = histogram(data);
-  const double expected = static_cast<double>(data.size()) / 256.0;
+double printableFraction(std::uint64_t printable, std::uint64_t n) {
+  if (n == 0) return 0.0;
+  return static_cast<double>(printable) / static_cast<double>(n);
+}
+
+double printableFraction(ByteView data) {
+  std::uint64_t printable = 0;
+  for (std::uint8_t b : data)
+    if (b >= 0x20 && b <= 0x7e) ++printable;
+  return printableFraction(printable, data.size());
+}
+
+double chiSquaredUniform(const ByteHistogram& h, std::uint64_t n) {
+  if (n == 0) return 0.0;
+  const double expected = static_cast<double>(n) / 256.0;
   double chi = 0.0;
-  for (std::size_t c : h) {
+  for (std::uint32_t c : h) {
     const double d = static_cast<double>(c) - expected;
     chi += d * d / expected;
   }
   return chi;
+}
+
+double chiSquaredUniform(ByteView data) {
+  return chiSquaredUniform(histogram(data), data.size());
 }
 
 }  // namespace sc::crypto

@@ -1,19 +1,35 @@
 // Byte-statistics utilities shared by the GFW's DPI entropy classifier and
 // by tests that validate ciphertext/blinding statistical shape.
+//
+// Each statistic has two forms: a ByteView convenience that walks the
+// buffer, and a histogram form for callers that already counted the bytes
+// (the DPI scanner counts once per payload and derives every statistic from
+// that single pass). Both forms accumulate in the same order, so they
+// produce bit-identical doubles.
 #pragma once
+
+#include <array>
+#include <cstdint>
 
 #include "util/bytes.h"
 
 namespace sc::crypto {
 
+// Byte-frequency counts as produced by one pass over a payload. 32-bit
+// slots: simulated payloads are far below 4 GiB.
+using ByteHistogram = std::array<std::uint32_t, 256>;
+
 // Shannon entropy of the byte histogram, in bits per byte (0..8).
 double shannonEntropy(ByteView data);
+double shannonEntropy(const ByteHistogram& h, std::uint64_t n);
 
 // Fraction of bytes in the printable ASCII range [0x20, 0x7e].
 double printableFraction(ByteView data);
+double printableFraction(std::uint64_t printable, std::uint64_t n);
 
 // Chi-squared statistic against the uniform byte distribution. High-entropy
 // ciphertext scores near 256 (degrees of freedom); text scores far higher.
 double chiSquaredUniform(ByteView data);
+double chiSquaredUniform(const ByteHistogram& h, std::uint64_t n);
 
 }  // namespace sc::crypto

@@ -7,22 +7,36 @@
 namespace sc::gfw {
 
 void DomainBlocklist::add(const std::string& suffix) {
-  const std::string lower = toLower(suffix);
-  if (std::find(suffixes_.begin(), suffixes_.end(), lower) == suffixes_.end())
-    suffixes_.push_back(lower);
+  std::string lower = toLower(suffix);
+  if (lower.empty()) return;  // can never match a host
+  if (std::find(suffixes_.begin(), suffixes_.end(), lower) != suffixes_.end())
+    return;
+  suffixes_.push_back(std::move(lower));
+  index_.build(suffixes_);
+  ++version_;
 }
 
 void DomainBlocklist::remove(const std::string& suffix) {
   const std::string lower = toLower(suffix);
-  std::erase(suffixes_, lower);
+  if (std::erase(suffixes_, lower) == 0) return;
+  index_.build(suffixes_);
+  ++version_;
 }
 
-bool DomainBlocklist::isBlocked(const std::string& host) const {
-  for (const auto& suffix : suffixes_) {
-    if (dnsDomainIs(host, suffix)) return true;
-  }
-  return false;
+namespace {
+
+constexpr std::uint32_t maskFor(int length) noexcept {
+  if (length <= 0) return 0;
+  if (length >= 32) return 0xFFFFFFFFu;
+  return ~(0xFFFFFFFFu >> length);
 }
+
+bool prefixOrder(const net::Prefix& a, const net::Prefix& b) noexcept {
+  if (a.length != b.length) return a.length < b.length;
+  return a.base.v < b.base.v;
+}
+
+}  // namespace
 
 void IpBlocklist::add(net::Ipv4 ip, sim::Time expiry) {
   const auto it = exact_.find(ip);
@@ -37,7 +51,10 @@ void IpBlocklist::add(net::Ipv4 ip, sim::Time expiry) {
 }
 
 void IpBlocklist::addPrefix(net::Prefix prefix) {
-  prefixes_.push_back(prefix);
+  prefix.base.v &= maskFor(prefix.length);
+  prefixes_.insert(std::upper_bound(prefixes_.begin(), prefixes_.end(), prefix,
+                                    prefixOrder),
+                   prefix);
   noteChanged();
 }
 
@@ -45,14 +62,30 @@ void IpBlocklist::remove(net::Ipv4 ip) {
   if (exact_.erase(ip) > 0) noteChanged();
 }
 
+void IpBlocklist::gcExpired(sim::Time now) {
+  std::erase_if(exact_, [&](const auto& kv) {
+    return kv.second != 0 && kv.second <= now;
+  });
+}
+
 bool IpBlocklist::isBlocked(net::Ipv4 ip, sim::Time now) const {
   const auto it = exact_.find(ip);
-  if (it != exact_.end()) {
-    if (it->second == 0 || it->second > now) return true;
-    exact_.erase(it);  // expired
-  }
-  for (const auto& p : prefixes_) {
-    if (p.contains(ip)) return true;
+  if (it != exact_.end() && (it->second == 0 || it->second > now)) return true;
+  // One binary search per distinct prefix length (runs are contiguous in
+  // the (length, base) ordering).
+  auto run = prefixes_.begin();
+  while (run != prefixes_.end()) {
+    const int length = run->length;
+    const auto run_end =
+        std::upper_bound(run, prefixes_.end(), length,
+                         [](int l, const net::Prefix& p) {
+                           return l < p.length;
+                         });
+    net::Prefix probe = *run;
+    probe.base.v = ip.v & maskFor(length);
+    const auto hit = std::lower_bound(run, run_end, probe, prefixOrder);
+    if (hit != run_end && hit->base.v == probe.base.v) return true;
+    run = run_end;
   }
   return false;
 }

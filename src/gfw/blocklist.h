@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "gfw/dpi/domain_index.h"
 #include "net/address.h"
 #include "sim/time.h"
 
@@ -16,14 +18,31 @@ namespace sc::gfw {
 
 class DomainBlocklist {
  public:
-  // Blocks the domain and all subdomains.
+  // Blocks the domain and all subdomains. Lookups go through a reversed
+  // suffix index (rebuilt on mutation — blocklist churn is orders of
+  // magnitude rarer than lookups).
   void add(const std::string& suffix);
   void remove(const std::string& suffix);
-  bool isBlocked(const std::string& host) const;
+  bool isBlocked(std::string_view host) const {
+    return index_.isBlocked(host);
+  }
   std::size_t size() const noexcept { return suffixes_.size(); }
+  bool empty() const noexcept { return suffixes_.empty(); }
+
+  // The lowered domain set in insertion order: the stable id space the
+  // compiled DPI automaton is built from.
+  const std::vector<std::string>& patterns() const noexcept {
+    return suffixes_;
+  }
+
+  // Bumped on every effective mutation; the DPI engine recompiles lazily
+  // when it observes a new version.
+  std::uint64_t version() const noexcept { return version_; }
 
  private:
   std::vector<std::string> suffixes_;
+  dpi::DomainIndex index_;
+  std::uint64_t version_ = 0;
 };
 
 class IpBlocklist {
@@ -31,16 +50,22 @@ class IpBlocklist {
   // expiry == 0 means permanent.
   void add(net::Ipv4 ip, sim::Time expiry = 0);
   void addPrefix(net::Prefix prefix);
+  // Pure lookup: exact hash probe plus a binary search per distinct prefix
+  // length. Expired entries read as unblocked but stay until gcExpired().
   bool isBlocked(net::Ipv4 ip, sim::Time now) const;
   void remove(net::Ipv4 ip);
+  // Sweeps exact entries whose expiry has passed (the old code erased them
+  // lazily inside the const lookup). Expiry is recovery, not churn: no
+  // version bump, no on-change — health probes discover recovery by
+  // succeeding. The GFW calls this from its periodic flow GC.
+  void gcExpired(sim::Time now);
   std::size_t size() const noexcept {
     return exact_.size() + prefixes_.size();
   }
 
   // Churn visibility: the version is bumped on every mutating add/remove,
   // and the on-change hook (one observer; fleets fan out internally) fires
-  // after the mutation lands. Lazy expiry inside isBlocked() does NOT count
-  // as churn — health probes discover recovery by succeeding.
+  // after the mutation lands.
   std::uint64_t version() const noexcept { return version_; }
   void setOnChange(std::function<void()> cb) { on_change_ = std::move(cb); }
 
@@ -50,8 +75,8 @@ class IpBlocklist {
     if (on_change_) on_change_();
   }
 
-  mutable std::unordered_map<net::Ipv4, sim::Time> exact_;
-  std::vector<net::Prefix> prefixes_;
+  std::unordered_map<net::Ipv4, sim::Time> exact_;
+  std::vector<net::Prefix> prefixes_;  // masked at insert; (length, base) order
   std::uint64_t version_ = 0;
   std::function<void()> on_change_;
 };

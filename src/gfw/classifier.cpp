@@ -22,78 +22,10 @@ const char* flowClassName(FlowClass cls) {
   return "?";
 }
 
-std::optional<TlsHelloView> parseClientHelloView(ByteView payload) {
-  // Record: 0x16, version u16, length u16; message: tag 1, sni, fingerprint.
-  std::size_t off = 0;
-  std::uint8_t rec_type = 0, msg_tag = 0;
-  std::uint16_t version = 0, rec_len = 0;
-  if (!readU8(payload, off, rec_type) || rec_type != 0x16) return std::nullopt;
-  if (!readU16(payload, off, version) || !readU16(payload, off, rec_len))
-    return std::nullopt;
-  if (!readU8(payload, off, msg_tag) || msg_tag != 1) return std::nullopt;
-
-  const std::string_view text = asStringView(payload);
-  TlsHelloView info;
-  std::uint16_t len = 0;
-  if (!readU16(payload, off, len) || off + len > payload.size())
-    return std::nullopt;
-  info.sni = text.substr(off, len);
-  off += len;
-  if (!readU16(payload, off, len) || off + len > payload.size())
-    return std::nullopt;
-  info.fingerprint = text.substr(off, len);
-  return info;
-}
-
 std::optional<TlsHelloInfo> parseClientHello(ByteView payload) {
   const auto view = parseClientHelloView(payload);
   if (!view) return std::nullopt;
   return TlsHelloInfo{std::string(view->sni), std::string(view->fingerprint)};
-}
-
-std::optional<std::string_view> extractHttpHostView(std::string_view text) {
-  // Only bother when it actually looks like an HTTP request line.
-  static constexpr std::string_view kMethods[] = {"GET ",  "POST ", "HEAD ",
-                                                  "PUT ",  "CONNECT ",
-                                                  "DELETE "};
-  bool is_http = false;
-  for (const std::string_view m : kMethods) {
-    if (startsWith(text, m)) {
-      is_http = true;
-      break;
-    }
-  }
-  if (!is_http) return std::nullopt;
-  // One walk over the '\n'-separated lines (the final segment after the last
-  // newline included, matching splitString's segmentation).
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t nl = text.find('\n', start);
-    const std::string_view line =
-        nl == std::string_view::npos ? text.substr(start)
-                                     : text.substr(start, nl - start);
-    const auto trimmed = trimWhitespace(line);
-    if (iequals(trimmed.substr(0, 5), "host:"))
-      return trimWhitespace(trimmed.substr(5));
-    if (nl == std::string_view::npos) break;
-    start = nl + 1;
-  }
-  // Request line may carry an absolute URI or authority form.
-  const std::string_view first_line = text.substr(0, text.find('\n'));
-  const std::size_t sp = first_line.find(' ');
-  if (sp != std::string_view::npos) {
-    std::string_view target = first_line.substr(sp + 1);
-    const std::size_t sp2 = target.find(' ');
-    if (sp2 != std::string_view::npos) target = target.substr(0, sp2);
-    const auto scheme = target.find("://");
-    if (scheme != std::string_view::npos) {
-      target.remove_prefix(scheme + 3);
-      const auto slash = target.find('/');
-      const auto colon = target.find(':');
-      return target.substr(0, std::min(slash, colon));
-    }
-  }
-  return std::string_view{};
 }
 
 std::optional<std::string> extractHttpHost(ByteView payload) {
@@ -134,6 +66,32 @@ FlowClass classifyTcpPayload(const net::Packet& pkt,
       std::min(8.0, std::log2(static_cast<double>(payload.size())));
   const double entropy = crypto::shannonEntropy(payload);
   if (entropy >= thresholds.entropy_threshold_bits * cap / 8.0)
+    return FlowClass::kHighEntropy;
+
+  return FlowClass::kUnknown;
+}
+
+FlowClass classifyScan(const dpi::ScanResult& scan,
+                       const dpi::Engine::Flags& flags, const net::Packet& pkt,
+                       const ClassifierThresholds& thresholds) {
+  if (scan.size == 0) return FlowClass::kUnknown;
+
+  if (scan.has_client_hello)
+    return flags.tor_fingerprint ? FlowClass::kTorTls : FlowClass::kTls;
+  if (scan.has_http_request) return FlowClass::kPlainHttp;
+  if (pkt.tcp().dst_port == 1723) return FlowClass::kVpnPptp;
+  if (pkt.tcp().dst_port == 1194 && scan.first_byte == 0x38)
+    return FlowClass::kOpenVpn;
+
+  if (scan.size < thresholds.min_classify_bytes) return FlowClass::kUnknown;
+
+  if (scan.printableFraction() >= thresholds.printable_benign_fraction)
+    return FlowClass::kTextLike;
+
+  // Same short-buffer entropy cap as classifyTcpPayload, entropy read off
+  // the scan histogram instead of a fresh walk.
+  const double cap = std::min(8.0, std::log2(static_cast<double>(scan.size)));
+  if (scan.entropy() >= thresholds.entropy_threshold_bits * cap / 8.0)
     return FlowClass::kHighEntropy;
 
   return FlowClass::kUnknown;

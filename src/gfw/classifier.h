@@ -1,11 +1,20 @@
 // Deep packet inspection: stateless payload classifiers that turn the first
 // data-bearing packets of a flow into a protocol verdict. Everything here
 // reads only bytes a real wire tap would see.
+//
+// The zero-copy parsers live in gfw/dpi (the compiled scan path); this
+// header re-exports them and keeps the copying conveniences plus the
+// reference classifier `classifyTcpPayload`, which multi-walks the payload
+// the way the pre-compiled pipeline did. `classifyScan` is the hot-path
+// variant fed by one PayloadScanner pass; the two must agree byte-for-byte
+// (tests drive both over the same corpus).
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "gfw/dpi/engine.h"
+#include "gfw/dpi/scanner.h"
 #include "net/packet.h"
 #include "util/bytes.h"
 
@@ -32,23 +41,19 @@ struct TlsHelloInfo {
 };
 std::optional<TlsHelloInfo> parseClientHello(ByteView payload);
 
-// Zero-copy variant: the views alias `payload` and are valid only while the
-// packet buffer lives. This is what the per-packet hot path uses; the
-// copying overload above remains for callers that keep the strings.
-struct TlsHelloView {
-  std::string_view sni;
-  std::string_view fingerprint;
-};
-std::optional<TlsHelloView> parseClientHelloView(ByteView payload);
+// Zero-copy variants, re-exported from the DPI scanner: the views alias
+// the payload and are valid only while the packet buffer lives.
+using TlsHelloView = dpi::TlsHelloView;
+inline std::optional<TlsHelloView> parseClientHelloView(ByteView payload) {
+  return dpi::parseClientHelloView(payload);
+}
+inline std::optional<std::string_view> extractHttpHostView(
+    std::string_view text) {
+  return dpi::extractHttpHostView(text);
+}
 
 // Extracts the Host header value from a plaintext HTTP request prefix.
 std::optional<std::string> extractHttpHost(ByteView payload);
-
-// Zero-copy variant over the request text: one forward walk over the lines
-// (the copying overload used to split the text twice and copy every line).
-// The returned view aliases `text`. Engaged-but-empty mirrors the copying
-// overload: "looks like HTTP, no host found".
-std::optional<std::string_view> extractHttpHostView(std::string_view text);
 
 struct ClassifierThresholds {
   double entropy_threshold_bits = 7.0;
@@ -61,9 +66,16 @@ struct ClassifierThresholds {
 // quirks; we model that knowledge as a substring match.
 bool isTorLikeFingerprint(std::string_view fingerprint);
 
-// Classifies the first client->server payload of a TCP flow.
+// Classifies the first client->server payload of a TCP flow by walking the
+// payload once per inspector (the reference implementation).
 FlowClass classifyTcpPayload(const net::Packet& pkt,
                              const ClassifierThresholds& thresholds);
+
+// Same decision procedure, but every input is read off one completed
+// PayloadScanner pass (`scan`) and its engine flags — no re-walking.
+FlowClass classifyScan(const dpi::ScanResult& scan,
+                       const dpi::Engine::Flags& flags, const net::Packet& pkt,
+                       const ClassifierThresholds& thresholds);
 
 // Classifies a non-TCP packet (GRE/ESP/UDP protocol fingerprints).
 FlowClass classifyNonTcp(const net::Packet& pkt);

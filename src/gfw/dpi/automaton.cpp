@@ -1,0 +1,99 @@
+#include "gfw/dpi/automaton.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::gfw::dpi {
+
+void Automaton::compile(const std::vector<std::string>& patterns) {
+  for (std::size_t b = 0; b < 256; ++b)
+    fold_[b] = static_cast<std::uint8_t>(
+        asciiLower(static_cast<char>(static_cast<unsigned char>(b))));
+
+  // Trie construction in the flat transition array (-1 = no edge yet).
+  next_.assign(256, -1);
+  std::vector<std::vector<PatternId>> matches(1);
+  lengths_.clear();
+  lengths_.reserve(patterns.size());
+  live_patterns_ = 0;
+  for (PatternId id = 0; id < patterns.size(); ++id) {
+    const std::string& pat = patterns[id];
+    lengths_.push_back(static_cast<std::uint32_t>(pat.size()));
+    if (pat.empty()) continue;  // gets an id, can never match
+    ++live_patterns_;
+    std::int32_t s = 0;
+    for (const char ch : pat) {
+      const std::uint8_t c = fold_[static_cast<std::uint8_t>(ch)];
+      const std::size_t slot = (static_cast<std::size_t>(s) << 8) | c;
+      if (next_[slot] < 0) {
+        next_[slot] = static_cast<std::int32_t>(matches.size());
+        matches.emplace_back();
+        next_.resize(next_.size() + 256, -1);
+      }
+      s = next_[slot];
+    }
+    matches[static_cast<std::size_t>(s)].push_back(id);
+  }
+
+  // BFS over the trie: compute fail links, merge match sets down the fail
+  // chain (fail targets are always processed before their dependents), and
+  // rewrite missing edges into resolved DFA transitions.
+  const std::size_t n_states = matches.size();
+  std::vector<std::int32_t> fail(n_states, 0);
+  std::vector<std::int32_t> queue;
+  queue.reserve(n_states);
+  for (std::size_t c = 0; c < 256; ++c) {
+    const std::int32_t t = next_[c];
+    if (t < 0) {
+      next_[c] = 0;
+    } else {
+      fail[static_cast<std::size_t>(t)] = 0;
+      queue.push_back(t);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t s = queue[head];
+    const std::size_t su = static_cast<std::size_t>(s);
+    const std::size_t fu = static_cast<std::size_t>(fail[su]);
+    matches[su].insert(matches[su].end(), matches[fu].begin(),
+                       matches[fu].end());
+    for (std::size_t c = 0; c < 256; ++c) {
+      const std::size_t slot = (su << 8) | c;
+      const std::int32_t t = next_[slot];
+      const std::int32_t via_fail = next_[(fu << 8) | c];
+      if (t < 0) {
+        next_[slot] = via_fail;
+      } else {
+        fail[static_cast<std::size_t>(t)] = via_fail;
+        queue.push_back(t);
+      }
+    }
+  }
+
+  // Flatten the per-state match sets (CSR layout). Ids within a state are
+  // sorted so scan output is independent of insertion history.
+  out_begin_.assign(n_states + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < n_states; ++s) {
+    std::sort(matches[s].begin(), matches[s].end());
+    out_begin_[s] = static_cast<std::uint32_t>(total);
+    total += matches[s].size();
+  }
+  out_begin_[n_states] = static_cast<std::uint32_t>(total);
+  out_ids_.clear();
+  out_ids_.reserve(total);
+  for (std::size_t s = 0; s < n_states; ++s)
+    out_ids_.insert(out_ids_.end(), matches[s].begin(), matches[s].end());
+}
+
+void Automaton::scan(ByteView data, std::vector<Hit>& out) const {
+  if (empty()) return;
+  std::int32_t s = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    s = step(s, data[i]);
+    if (hasMatches(s)) appendMatches(s, i, out);
+  }
+}
+
+}  // namespace sc::gfw::dpi

@@ -1,0 +1,75 @@
+// Compiled multi-pattern matcher: an Aho-Corasick automaton in dense DFA
+// form, built once from the blocklist + protocol-fingerprint literals and
+// then shared by every payload scan.
+//
+// Layout: one flat `next_` array of states x 256 transitions (goto and fail
+// edges are resolved at compile time, so the scan loop is a single indexed
+// load per byte — no failure-chain walking), plus a flattened CSR-style
+// match table (`out_begin_` offsets into `out_ids_`). Patterns are
+// case-folded (ASCII) at compile time and input bytes are folded through a
+// 256-entry table, so matching is case-insensitive without a lowered copy
+// of the payload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace sc::gfw::dpi {
+
+using PatternId = std::uint32_t;
+
+// One match: `end` is the offset of the pattern's last byte in the scanned
+// buffer (the span is [end + 1 - length, end]).
+struct Hit {
+  PatternId pattern = 0;
+  std::uint32_t end = 0;
+};
+
+class Automaton {
+ public:
+  // Compiles the pattern set; ids are indices into `patterns`. Patterns are
+  // case-folded here; empty patterns get an id but can never match.
+  // Recompiling replaces the previous automaton wholesale.
+  void compile(const std::vector<std::string>& patterns);
+
+  bool empty() const noexcept { return live_patterns_ == 0; }
+  std::size_t patternCount() const noexcept { return lengths_.size(); }
+  std::uint32_t patternLength(PatternId id) const { return lengths_[id]; }
+  std::size_t stateCount() const noexcept { return next_.size() >> 8; }
+
+  // One forward pass over `data`, appending every match to `out` in scan
+  // order (by end offset, then by pattern id).
+  void scan(ByteView data, std::vector<Hit>& out) const;
+
+  // Streaming interface for callers that fuse the automaton step into their
+  // own byte loop (the PayloadScanner's fused stats+match pass).
+  std::int32_t start() const noexcept { return 0; }
+  std::int32_t step(std::int32_t state, std::uint8_t byte) const noexcept {
+    return next_[(static_cast<std::size_t>(state) << 8) | fold_[byte]];
+  }
+  bool hasMatches(std::int32_t state) const noexcept {
+    return out_begin_[static_cast<std::size_t>(state)] !=
+           out_begin_[static_cast<std::size_t>(state) + 1];
+  }
+  void appendMatches(std::int32_t state, std::size_t end,
+                     std::vector<Hit>& out) const {
+    for (std::uint32_t i = out_begin_[static_cast<std::size_t>(state)];
+         i < out_begin_[static_cast<std::size_t>(state) + 1]; ++i) {
+      out.push_back(Hit{out_ids_[i], static_cast<std::uint32_t>(end)});
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> next_;        // states x 256, DFA transitions
+  std::vector<std::uint32_t> out_begin_;  // state -> [begin, end) in out_ids_
+  std::vector<PatternId> out_ids_;        // match lists, flattened
+  std::vector<std::uint32_t> lengths_;    // pattern id -> byte length
+  std::array<std::uint8_t, 256> fold_{};  // ASCII case fold for input bytes
+  std::size_t live_patterns_ = 0;         // non-empty patterns compiled in
+};
+
+}  // namespace sc::gfw::dpi

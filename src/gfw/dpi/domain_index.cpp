@@ -1,0 +1,68 @@
+#include "gfw/dpi/domain_index.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sc::gfw::dpi {
+
+void DomainIndex::build(const std::vector<std::string>& domains) {
+  keys_.clear();
+  keys_.reserve(domains.size());
+  for (const std::string& d : domains) {
+    if (d.empty()) continue;
+    std::string key;
+    key.reserve(d.size());
+    for (auto it = d.rbegin(); it != d.rend(); ++it)
+      key.push_back(asciiLower(*it));
+    keys_.push_back(std::move(key));
+  }
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+}
+
+bool DomainIndex::containsKey(std::string_view host, std::size_t p) const {
+  // Binary search comparing each key against the folded reversal of host's
+  // last p characters, materializing nothing.
+  const auto cmp = [&](const std::string& key) {
+    const std::size_t m = std::min(key.size(), p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto k = static_cast<unsigned char>(key[i]);
+      const auto h =
+          static_cast<unsigned char>(asciiLower(host[host.size() - 1 - i]));
+      if (k != h) return k < h ? -1 : 1;
+    }
+    if (key.size() == p) return 0;
+    return key.size() < p ? -1 : 1;
+  };
+  std::size_t lo = 0, hi = keys_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int c = cmp(keys_[mid]);
+    if (c == 0) return true;
+    if (c < 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return false;
+}
+
+bool DomainIndex::isBlocked(std::string_view host) const {
+  if (keys_.empty() || host.empty()) return false;
+  const std::size_t n = host.size();
+  // Whole-host candidate: host equals a stored domain.
+  if (containsKey(host, n)) return true;
+  // Every dot opens two candidates: the suffix beyond it (a plain domain
+  // matching on this boundary) and the suffix including it (a leading-dot
+  // domain, whose boundary is built in).
+  for (std::size_t d = 0; d < n; ++d) {
+    if (host[d] != '.') continue;
+    const std::size_t after = n - d - 1;
+    if (after >= 1 && containsKey(host, after)) return true;
+    if (containsKey(host, n - d)) return true;
+  }
+  return false;
+}
+
+}  // namespace sc::gfw::dpi

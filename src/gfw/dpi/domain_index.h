@@ -1,0 +1,36 @@
+// Reversed-suffix index over the domain blocklist. Replaces the linear
+// dnsDomainIs scan: each stored domain is case-folded and reversed, the
+// reversals sorted; a lookup walks the host's label boundaries (O(#labels))
+// and binary-searches each candidate suffix. Matching semantics are exactly
+// dnsDomainIs: host equals the domain, or is a subdomain of it (suffix on a
+// dot boundary; a leading-dot domain carries its own boundary).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::gfw::dpi {
+
+class DomainIndex {
+ public:
+  // Rebuilds the index from the domain set (empty entries are dropped —
+  // they can never match a host). Case is folded here, so lookups never
+  // lower-case anything.
+  void build(const std::vector<std::string>& domains);
+
+  // True when some indexed domain matches `host` under dnsDomainIs
+  // semantics. Allocation-free.
+  bool isBlocked(std::string_view host) const;
+
+  bool empty() const noexcept { return keys_.empty(); }
+  std::size_t size() const noexcept { return keys_.size(); }
+
+ private:
+  // Is the folded reversal of host's last `p` characters a stored key?
+  bool containsKey(std::string_view host, std::size_t p) const;
+
+  std::vector<std::string> keys_;  // fold+reverse of each domain, sorted unique
+};
+
+}  // namespace sc::gfw::dpi

@@ -1,0 +1,45 @@
+#include "gfw/dpi/engine.h"
+
+namespace sc::gfw::dpi {
+
+void Engine::compile(const std::vector<std::string>& domain_patterns) {
+  std::vector<std::string> patterns;
+  patterns.reserve(kBuiltinPatterns + domain_patterns.size());
+  patterns.emplace_back("tor");   // kTorId
+  patterns.emplace_back("meek");  // kMeekId
+  // Domain patterns keep their leading dot if they have one: a dnsDomainIs
+  // match on a leading-dot domain implies the dot itself appears in the
+  // host, so the tighter literal is still a sound prefilter.
+  patterns.insert(patterns.end(), domain_patterns.begin(),
+                  domain_patterns.end());
+  automaton_.compile(patterns);
+  compiled_ = true;
+}
+
+Engine::Flags Engine::analyze(const ScanResult& scan, ByteView payload) const {
+  Flags flags;
+  if (scan.hits.empty()) return flags;
+  const char* base = reinterpret_cast<const char*>(payload.data());
+  // True when the hit's span [end+1-len, end+1) lies fully inside `field`.
+  const auto within = [&](const Hit& hit, std::string_view field) {
+    if (field.empty()) return false;
+    const auto field_begin = static_cast<std::size_t>(field.data() - base);
+    const std::size_t end = static_cast<std::size_t>(hit.end) + 1;
+    const std::uint32_t len = automaton_.patternLength(hit.pattern);
+    return end - len >= field_begin && end <= field_begin + field.size();
+  };
+  for (const Hit& hit : scan.hits) {
+    if (hit.pattern == kTorId || hit.pattern == kMeekId) {
+      if (!flags.tor_fingerprint && within(hit, scan.fingerprint))
+        flags.tor_fingerprint = true;
+    } else {
+      if (!flags.sni_candidate && within(hit, scan.sni))
+        flags.sni_candidate = true;
+      if (!flags.host_candidate && within(hit, scan.http_host))
+        flags.host_candidate = true;
+    }
+  }
+  return flags;
+}
+
+}  // namespace sc::gfw::dpi

@@ -1,0 +1,52 @@
+// The compiled DPI engine: owns the automaton built from the domain
+// blocklist plus the protocol-fingerprint literals, and turns raw scan hits
+// into inspector-level prefilter flags.
+//
+// The flags are sound prefilters, not verdicts: a domain pattern hit inside
+// the SNI/Host field means "this field MAY match the blocklist — confirm
+// with the exact suffix index"; no hit means the exact check cannot
+// succeed (a dnsDomainIs match implies the folded domain appears as a
+// substring of the field, which the automaton never misses). The Tor/meek
+// flag IS exact: it reproduces icontains(fingerprint, "tor"|"meek").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gfw/dpi/automaton.h"
+#include "gfw/dpi/scanner.h"
+#include "util/bytes.h"
+
+namespace sc::gfw::dpi {
+
+class Engine {
+ public:
+  // Builtin pattern ids; domain patterns follow from kBuiltinPatterns.
+  static constexpr PatternId kTorId = 0;
+  static constexpr PatternId kMeekId = 1;
+  static constexpr std::uint32_t kBuiltinPatterns = 2;
+
+  // Recompiles the automaton from the current domain set (the caller tracks
+  // the blocklist version and calls this lazily on change).
+  void compile(const std::vector<std::string>& domain_patterns);
+
+  bool compiled() const noexcept { return compiled_; }
+  const Automaton& automaton() const noexcept { return automaton_; }
+
+  struct Flags {
+    bool tor_fingerprint = false;  // "tor"/"meek" within the fingerprint
+    bool sni_candidate = false;    // domain pattern within the SNI field
+    bool host_candidate = false;   // domain pattern within the Host field
+  };
+
+  // Folds the scan's hit list into field-scoped flags. `payload` must be
+  // the buffer `scan` was produced from (field offsets are recovered from
+  // the views' positions in it).
+  Flags analyze(const ScanResult& scan, ByteView payload) const;
+
+ private:
+  Automaton automaton_;
+  bool compiled_ = false;
+};
+
+}  // namespace sc::gfw::dpi

@@ -1,0 +1,157 @@
+#include "gfw/dpi/scanner.h"
+
+#include "util/strings.h"
+
+namespace sc::gfw::dpi {
+
+std::optional<TlsHelloView> parseClientHelloView(ByteView payload) {
+  // Record: 0x16, version u16, length u16; message: tag 1, sni, fingerprint.
+  std::size_t off = 0;
+  std::uint8_t rec_type = 0, msg_tag = 0;
+  std::uint16_t version = 0, rec_len = 0;
+  if (!readU8(payload, off, rec_type) || rec_type != 0x16) return std::nullopt;
+  if (!readU16(payload, off, version) || !readU16(payload, off, rec_len))
+    return std::nullopt;
+  if (!readU8(payload, off, msg_tag) || msg_tag != 1) return std::nullopt;
+
+  const std::string_view text = asStringView(payload);
+  TlsHelloView info;
+  std::uint16_t len = 0;
+  if (!readU16(payload, off, len) || off + len > payload.size())
+    return std::nullopt;
+  info.sni = text.substr(off, len);
+  off += len;
+  if (!readU16(payload, off, len) || off + len > payload.size())
+    return std::nullopt;
+  info.fingerprint = text.substr(off, len);
+  return info;
+}
+
+std::optional<std::string_view> extractHttpHostView(std::string_view text) {
+  // Only bother when it actually looks like an HTTP request line.
+  static constexpr std::string_view kMethods[] = {"GET ",  "POST ", "HEAD ",
+                                                  "PUT ",  "CONNECT ",
+                                                  "DELETE "};
+  bool is_http = false;
+  for (const std::string_view m : kMethods) {
+    if (startsWith(text, m)) {
+      is_http = true;
+      break;
+    }
+  }
+  if (!is_http) return std::nullopt;
+  // One walk over the '\n'-separated lines (the final segment after the last
+  // newline included, matching splitString's segmentation).
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line =
+        nl == std::string_view::npos ? text.substr(start)
+                                     : text.substr(start, nl - start);
+    const auto trimmed = trimWhitespace(line);
+    if (iequals(trimmed.substr(0, 5), "host:"))
+      return trimWhitespace(trimmed.substr(5));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  // Request line may carry an absolute URI or authority form.
+  const std::string_view first_line = text.substr(0, text.find('\n'));
+  const std::size_t sp = first_line.find(' ');
+  if (sp != std::string_view::npos) {
+    std::string_view target = first_line.substr(sp + 1);
+    const std::size_t sp2 = target.find(' ');
+    if (sp2 != std::string_view::npos) target = target.substr(0, sp2);
+    const auto scheme = target.find("://");
+    if (scheme != std::string_view::npos) {
+      target.remove_prefix(scheme + 3);
+      const auto slash = target.find('/');
+      const auto colon = target.find(':');
+      return target.substr(0, std::min(slash, colon));
+    }
+  }
+  return std::string_view{};
+}
+
+void ScanResult::reset(std::size_t payload_size) {
+  has_client_hello = false;
+  sni = {};
+  fingerprint = {};
+  has_http_request = false;
+  http_host = {};
+  size = payload_size;
+  first_byte = 0;
+  hits.clear();
+  payload_ = {};
+  have_printable_ = false;
+  have_histogram_ = false;
+}
+
+std::uint64_t ScanResult::printableCount() const {
+  if (!have_printable_) {
+    std::uint64_t p = 0;
+    for (const std::uint8_t b : payload_)
+      p += static_cast<std::uint64_t>(b >= 0x20 && b <= 0x7e);
+    printable_ = p;
+    have_printable_ = true;
+  }
+  return printable_;
+}
+
+const crypto::ByteHistogram& ScanResult::histogram() const {
+  if (!have_histogram_) {
+    histogram_.fill(0);
+    for (const std::uint8_t b : payload_) ++histogram_[b];
+    have_histogram_ = true;
+  }
+  return histogram_;
+}
+
+namespace {
+
+// Runs the automaton over one extracted field, reporting hits at their
+// payload-relative offsets. Restarting at the field start is equivalent to
+// carrying state in from the surrounding bytes: a hit the engine accepts
+// must lie fully inside the field, and such a hit is found either way —
+// while a hit straddling the field boundary (found only by a whole-payload
+// walk) is rejected by the engine's range check anyway.
+void scanField(const Automaton& automaton, ByteView payload,
+               std::string_view field, std::vector<Hit>& hits) {
+  if (field.empty()) return;
+  const std::size_t base = static_cast<std::size_t>(
+      field.data() - reinterpret_cast<const char*>(payload.data()));
+  std::int32_t s = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    s = automaton.step(s, static_cast<std::uint8_t>(field[i]));
+    if (automaton.hasMatches(s)) automaton.appendMatches(s, base + i, hits);
+  }
+}
+
+}  // namespace
+
+void PayloadScanner::scan(ByteView payload, const Automaton* automaton,
+                          ScanResult& out) const {
+  out.reset(payload.size());
+  out.payload_ = payload;
+  if (payload.empty()) return;
+  out.first_byte = payload[0];
+
+  // Structural header parses (cheap, bounded, mutually exclusive: a
+  // ClientHello starts 0x16, an HTTP request with a method letter). The
+  // automaton runs only over the fields a verdict can read.
+  const bool match = automaton != nullptr && !automaton->empty();
+  if (const auto hello = parseClientHelloView(payload)) {
+    out.has_client_hello = true;
+    out.sni = hello->sni;
+    out.fingerprint = hello->fingerprint;
+    if (match) {
+      scanField(*automaton, payload, out.sni, out.hits);
+      scanField(*automaton, payload, out.fingerprint, out.hits);
+    }
+  } else if (const auto host = extractHttpHostView(asStringView(payload))) {
+    out.has_http_request = true;
+    out.http_host = *host;
+    if (match) scanField(*automaton, payload, out.http_host, out.hits);
+  }
+}
+
+}  // namespace sc::gfw::dpi

@@ -1,0 +1,94 @@
+// Payload scanner: one structural pass over the packet bytes produces
+// everything the GFW's inspectors consume — TLS ClientHello SNI and
+// fingerprint views, the HTTP request-line Host, and the multi-pattern
+// automaton hits. The automaton runs only over the extracted fields: hits
+// outside the SNI/fingerprint/Host ranges can never change a verdict (the
+// engine rejects them by range), so ciphertext and bulk bytes are never
+// pushed through the DFA.
+//
+// Byte statistics are demand-driven: the classifier's decision order means
+// most payloads never need them (a parsed ClientHello or HTTP request
+// classifies on structure alone; printable text short-circuits before
+// entropy). Each statistic is computed at most once per scan, cached, and
+// derived through the histogram overloads in crypto/entropy so the doubles
+// are bit-identical to the reference whole-payload walks.
+//
+// Zero-copy discipline: every string_view in a ScanResult aliases the
+// scanned payload and is valid only while that buffer lives — and the lazy
+// accessors read the payload, so they must not be called after it dies.
+// The fast path allocates nothing once the hit vector has warmed up.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "crypto/entropy.h"
+#include "gfw/dpi/automaton.h"
+#include "util/bytes.h"
+
+namespace sc::gfw::dpi {
+
+// Extracted ClientHello fields as views into the payload (matches the
+// TLS-sim wire format: 0x16 record, version, length, tag-1 message, two
+// length-prefixed strings).
+struct TlsHelloView {
+  std::string_view sni;
+  std::string_view fingerprint;
+};
+std::optional<TlsHelloView> parseClientHelloView(ByteView payload);
+
+// Extracts the Host header value from a plaintext HTTP request prefix in
+// one forward walk over the lines; falls back to the absolute-URI authority
+// on the request line. Engaged-but-empty means "looks like HTTP, no host
+// found". The returned view aliases `text`.
+std::optional<std::string_view> extractHttpHostView(std::string_view text);
+
+// Everything a scan yields. Reused across packets: reset() clears values
+// but keeps the hit vector's capacity.
+struct ScanResult {
+  // Structural parses (header bytes only).
+  bool has_client_hello = false;
+  std::string_view sni;          // valid when has_client_hello
+  std::string_view fingerprint;  // valid when has_client_hello
+  bool has_http_request = false;
+  std::string_view http_host;    // may be empty while has_http_request
+
+  std::size_t size = 0;
+  std::uint8_t first_byte = 0;
+
+  // Automaton matches within the extracted fields, in scan order.
+  std::vector<Hit> hits;
+
+  void reset(std::size_t payload_size);
+
+  // Lazy statistics: computed from the scanned payload on first use, cached
+  // for the rest of the scan. Identical accumulation to the ByteView
+  // overloads in crypto/entropy, so the doubles are bit-identical.
+  double entropy() const {
+    return crypto::shannonEntropy(histogram(), size);
+  }
+  double printableFraction() const {
+    return crypto::printableFraction(printableCount(), size);
+  }
+  std::uint64_t printableCount() const;
+  const crypto::ByteHistogram& histogram() const;
+
+ private:
+  friend class PayloadScanner;
+
+  ByteView payload_;  // the scanned buffer; aliases, dies with the packet
+  mutable bool have_printable_ = false;
+  mutable bool have_histogram_ = false;
+  mutable std::uint64_t printable_ = 0;
+  mutable crypto::ByteHistogram histogram_{};
+};
+
+// Stateless scanner. `automaton` may be null for a structure-only pass.
+class PayloadScanner {
+ public:
+  void scan(ByteView payload, const Automaton* automaton,
+            ScanResult& out) const;
+};
+
+}  // namespace sc::gfw::dpi

@@ -101,6 +101,15 @@ void Gfw::gcFlows() {
   }
   std::erase_if(suspect_servers_,
                 [&](const auto& kv) { return kv.second <= now; });
+  // Expired IP-block entries are swept here rather than erased lazily
+  // inside the (const) lookup.
+  ips_.gcExpired(now);
+}
+
+void Gfw::refreshDpi() {
+  if (dpi_.compiled() && dpi_version_ == domains_.version()) return;
+  dpi_.compile(domains_.patterns());
+  dpi_version_ = domains_.version();
 }
 
 bool Gfw::endpointIsRegisteredIcp(const net::Packet& pkt, bool outbound) const {
@@ -133,6 +142,9 @@ void Gfw::injectRst(const net::Packet& offending, net::Link& link,
 
 void Gfw::maybePoisonDns(const net::Packet& pkt, net::Link& link,
                          net::Direction dir) {
+  // An empty domain list can never poison: skip the DNS parse entirely
+  // (the common case for GFW configs that only do IP blocking).
+  if (domains_.empty()) return;
   const auto query = dns::parseDns(pkt.payload);
   if (!query || query->is_response || query->questions.empty()) return;
   bool any_blocked = false;
@@ -223,8 +235,18 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
   thresholds.printable_benign_fraction = config_.printable_benign_fraction;
   thresholds.min_classify_bytes = config_.min_classify_bytes;
 
-  FlowClass cls = pkt.isTcp() ? classifyTcpPayload(pkt, thresholds)
-                              : classifyNonTcp(pkt);
+  dpi::Engine::Flags flags;
+  FlowClass cls;
+  if (pkt.isTcp()) {
+    // One compiled pass feeds every inspector below: class decision, SNI /
+    // Host keyword prefilters, Tor fingerprint, entropy statistics.
+    refreshDpi();
+    scanner_.scan(pkt.payload, &dpi_.automaton(), scan_);
+    flags = dpi_.analyze(scan_, pkt.payload);
+    cls = classifyScan(scan_, flags, pkt, thresholds);
+  } else {
+    cls = classifyNonTcp(pkt);
+  }
   if (cls == FlowClass::kUnknown && pkt.isTcp()) return;  // wait for more data
 
   flow.classified = true;
@@ -241,8 +263,10 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
   switch (cls) {
     case FlowClass::kPlainHttp: {
       if (!config_.keyword_filtering) break;
-      const auto host = extractHttpHost(pkt.payload);
-      if (host.has_value() && !host->empty() && domains_.isBlocked(*host)) {
+      // host_candidate is the automaton prefilter (sound: no hit inside the
+      // Host field means the exact suffix check cannot succeed); isBlocked
+      // is the exact confirmation on the indexed blocklist.
+      if (flags.host_candidate && domains_.isBlocked(scan_.http_host)) {
         traceVerdict(pkt, "http_keyword", "rst");
         injectRst(pkt, link, dir);
         flow.killed = true;
@@ -251,9 +275,8 @@ void Gfw::classifyFlow(Flow& flow, const net::Packet& pkt, net::Link& link,
     }
     case FlowClass::kTls:
     case FlowClass::kTorTls: {
-      const auto hello = parseClientHello(pkt.payload);
-      if (config_.tls_sni_filtering && hello.has_value() &&
-          domains_.isBlocked(hello->sni)) {
+      if (config_.tls_sni_filtering && flags.sni_candidate &&
+          domains_.isBlocked(scan_.sni)) {
         traceVerdict(pkt, "tls_sni", "rst");
         injectRst(pkt, link, dir);
         flow.killed = true;

@@ -27,6 +27,8 @@
 #include "gfw/blocklist.h"
 #include "gfw/classifier.h"
 #include "gfw/config.h"
+#include "gfw/dpi/engine.h"
+#include "gfw/dpi/scanner.h"
 #include "gfw/prober.h"
 #include "net/network.h"
 
@@ -113,6 +115,10 @@ class Gfw final : public net::PacketFilter {
                       net::Direction dir);
   void scheduleProbe(net::Endpoint server);
   void gcFlows();
+  // Recompiles the DPI automaton iff the domain blocklist's version moved
+  // since the last compile (lazy: churn bursts cost one compile, on the
+  // next classified packet).
+  void refreshDpi();
 
   net::Network& network_;
   GfwConfig config_;
@@ -121,6 +127,13 @@ class Gfw final : public net::PacketFilter {
   net::Direction outbound_ = net::Direction::kAtoB;
   DomainBlocklist domains_;
   IpBlocklist ips_;
+  // Compiled DPI hot path: automaton + engine flags over one scan pass.
+  // scan_ is reused across packets (views in it alias the packet being
+  // inspected and die with it).
+  dpi::Engine dpi_;
+  dpi::PayloadScanner scanner_;
+  dpi::ScanResult scan_;
+  std::uint64_t dpi_version_ = 0;
   IcpLookup icp_lookup_;
   std::unique_ptr<ActiveProber> prober_;
   std::unordered_map<net::FiveTuple, Flow> flows_;

@@ -190,6 +190,35 @@ std::string moduleOf(const std::string& path) {
   return path.substr(mod_begin, mod_end - mod_begin);
 }
 
+namespace {
+// Longest declared prefix of a src-relative directory path: "gfw/dpi"
+// resolves to module "gfw/dpi" when layers.conf declares it, falling back
+// to "gfw" (and ultimately to the top-level component, declared or not, so
+// undeclared modules still surface as layer-unknown-module).
+std::string resolveNested(std::string candidate, const LayerGraph& layers) {
+  while (true) {
+    if (layers.knows(candidate)) return candidate;
+    const std::size_t slash = candidate.rfind('/');
+    if (slash == std::string::npos) return candidate;
+    candidate.resize(slash);
+  }
+}
+}  // namespace
+
+std::string moduleOf(const std::string& path, const LayerGraph& layers) {
+  std::size_t best = std::string::npos;
+  for (std::size_t p = path.find("src/"); p != std::string::npos;
+       p = path.find("src/", p + 1)) {
+    if (p == 0 || path[p - 1] == '/') best = p;
+  }
+  if (best == std::string::npos) return "";
+  const std::size_t mod_begin = best + 4;
+  const std::size_t dir_end = path.rfind('/');
+  if (dir_end == std::string::npos || dir_end < mod_begin)
+    return "";  // file directly under src/
+  return resolveNested(path.substr(mod_begin, dir_end - mod_begin), layers);
+}
+
 void checkDeterminism(const std::vector<Token>& toks,
                       const std::vector<Token>& companion,
                       std::vector<RawFinding>& out) {
@@ -297,7 +326,7 @@ void checkDeterminism(const std::vector<Token>& toks,
 
 void checkLayering(const std::string& path, const std::vector<Token>& toks,
                    const LayerGraph& layers, std::vector<RawFinding>& out) {
-  const std::string module = moduleOf(path);
+  const std::string module = moduleOf(path, layers);
   if (module.empty()) return;  // tests/bench/tools/examples: all layers ok
   if (!layers.knows(module)) {
     add(out, "layer-unknown-module", 1,
@@ -311,9 +340,9 @@ void checkLayering(const std::string& path, const std::vector<Token>& toks,
     if (name->kind != TokKind::kString) continue;  // <...> system headers
     std::string inc = name->text;
     if (inc.size() >= 2) inc = inc.substr(1, inc.size() - 2);  // strip quotes
-    const std::size_t slash = inc.find('/');
+    const std::size_t slash = inc.rfind('/');
     if (slash == std::string::npos) continue;  // local header, no module
-    const std::string dep = inc.substr(0, slash);
+    const std::string dep = resolveNested(inc.substr(0, slash), layers);
     if (dep == module) continue;
     if (!layers.knows(dep)) {
       add(out, "layer-unknown-module", name->line,

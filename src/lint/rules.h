@@ -59,4 +59,10 @@ void checkHygiene(const std::string& path, const std::vector<Token>& toks,
 // tools and examples may include every layer).
 std::string moduleOf(const std::string& path);
 
+// Layer-aware variant with nested-submodule support: the deepest directory
+// path declared in layers.conf wins, so "src/gfw/dpi/automaton.cpp" maps to
+// "gfw/dpi" when that module is declared and to "gfw" otherwise. The same
+// longest-declared-prefix rule resolves include targets.
+std::string moduleOf(const std::string& path, const LayerGraph& layers);
+
 }  // namespace sc::lint

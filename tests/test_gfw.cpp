@@ -88,6 +88,64 @@ TEST(IpBlocklist, OnChangeFiresAfterTheMutationLands) {
   EXPECT_EQ(seen[2], (std::pair<std::uint64_t, bool>{3, false}));
 }
 
+TEST(IpBlocklist, LookupIsPureAndGcSweepsOnlyExpired) {
+  // isBlocked is const and side-effect free: an expired entry answers
+  // false any number of times without mutating the list, until gcExpired
+  // sweeps it. The sweep is recovery, not churn — no version bump, no
+  // on-change callback.
+  IpBlocklist list;
+  list.add(net::Ipv4(5, 5, 5, 5), /*expiry=*/1000);
+  list.add(net::Ipv4(6, 6, 6, 6));                   // permanent
+  list.add(net::Ipv4(7, 7, 7, 7), /*expiry=*/5000);  // not yet expired
+  const std::uint64_t version_before = list.version();
+  int fired = 0;
+  list.setOnChange([&] { ++fired; });
+
+  EXPECT_FALSE(list.isBlocked(net::Ipv4(5, 5, 5, 5), 2000));
+  EXPECT_FALSE(list.isBlocked(net::Ipv4(5, 5, 5, 5), 2000));
+  EXPECT_EQ(list.size(), 3u);  // expired entry still present until the sweep
+
+  list.gcExpired(2000);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(6, 6, 6, 6), 2000));
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(7, 7, 7, 7), 2000));
+  EXPECT_EQ(list.version(), version_before);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(IpBlocklist, PrefixLookupCoversMixedLengths) {
+  // Sorted-prefix binary search: one probe per distinct length, including
+  // the degenerate /0 (matches everything) and /32 (exact).
+  IpBlocklist list;
+  list.addPrefix(net::Prefix{net::Ipv4(198, 18, 0, 0), 16});
+  list.addPrefix(net::Prefix{net::Ipv4(10, 0, 0, 0), 8});
+  list.addPrefix(net::Prefix{net::Ipv4(203, 0, 113, 77), 32});
+  // Unmasked base bits must be ignored (masked at insert).
+  list.addPrefix(net::Prefix{net::Ipv4(192, 168, 55, 99), 24});
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(198, 18, 200, 1), 0));
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(10, 99, 1, 2), 0));
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(203, 0, 113, 77), 0));
+  EXPECT_FALSE(list.isBlocked(net::Ipv4(203, 0, 113, 78), 0));
+  EXPECT_TRUE(list.isBlocked(net::Ipv4(192, 168, 55, 1), 0));
+  EXPECT_FALSE(list.isBlocked(net::Ipv4(192, 168, 56, 1), 0));
+  EXPECT_FALSE(list.isBlocked(net::Ipv4(11, 0, 0, 1), 0));
+}
+
+TEST(DomainBlocklist, VersionBumpsOnlyOnEffectiveMutations) {
+  DomainBlocklist list;
+  EXPECT_EQ(list.version(), 0u);
+  EXPECT_TRUE(list.empty());
+  list.add("google.com");
+  EXPECT_EQ(list.version(), 1u);
+  list.add("GOOGLE.COM");  // dedupe (case-folded): no churn
+  EXPECT_EQ(list.version(), 1u);
+  list.remove("absent.example");
+  EXPECT_EQ(list.version(), 1u);
+  list.remove("google.com");
+  EXPECT_EQ(list.version(), 2u);
+  EXPECT_TRUE(list.empty());
+}
+
 // ---- classifiers ----
 
 TEST(Classifier, RecognizesPlainHttpHost) {

@@ -190,6 +190,43 @@ TEST(LintLayering, LegalEdgesAndNonSrcFilesStaySilent) {
   EXPECT_EQ(moduleOf("/root/repo/src/gfw/gfw.cpp"), "gfw");
 }
 
+TEST(LintLayering, NestedSubmodulesResolveByLongestDeclaredPrefix) {
+  constexpr std::string_view conf = R"(
+util:
+sim: util
+net: sim
+gfw/dpi: util
+gfw: net gfw/dpi
+)";
+  const LayerGraph g = parseLayersConf(conf);
+  ASSERT_TRUE(g.ok());
+
+  // A declared nested directory is its own module; undeclared nesting
+  // falls back to the top-level module.
+  EXPECT_EQ(moduleOf("/root/repo/src/gfw/dpi/automaton.cpp", g), "gfw/dpi");
+  EXPECT_EQ(moduleOf("src/gfw/dpi/deep/inner.h", g), "gfw/dpi");
+  EXPECT_EQ(moduleOf("src/gfw/gfw.cpp", g), "gfw");
+  EXPECT_EQ(moduleOf("src/net/sub/dir/link.cpp", g), "net");
+
+  // The parent may include the nested module...
+  const std::string ok = "#include \"gfw/dpi/automaton.h\"\n";
+  EXPECT_TRUE(lintStr("src/gfw/gfw.cpp", ok, {}, &g).findings.empty());
+  // ...and the nested module itself, plus its declared deps.
+  const std::string self =
+      "#include \"gfw/dpi/scanner.h\"\n#include \"util/bytes.h\"\n";
+  EXPECT_TRUE(
+      lintStr("src/gfw/dpi/engine.cpp", self, {}, &g).findings.empty());
+
+  // The nested module must NOT reach back into its parent or siblings the
+  // conf does not grant.
+  const auto up = lintStr("src/gfw/dpi/engine.cpp",
+                          "#include \"gfw/classifier.h\"\n", {}, &g);
+  EXPECT_EQ(countRule(up, "layer-violation"), 1);
+  const auto side = lintStr("src/gfw/dpi/engine.cpp",
+                            "#include \"net/link.h\"\n", {}, &g);
+  EXPECT_EQ(countRule(side, "layer-violation"), 1);
+}
+
 // -------------------------------------------------------- determinism rules
 
 TEST(LintDeterminism, WallClockFires) {
