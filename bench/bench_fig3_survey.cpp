@@ -1,6 +1,9 @@
 // Figure 3: distribution of methods for accessing Google Scholar among the
 // 371 surveyed Tsinghua scholars (July 2015). Regenerates the pie-chart
-// numbers by synthesizing a response set and tabulating it.
+// numbers by synthesizing a response set and tabulating it. The "paper"
+// column comes from survey::Figure3 / survey::bypassShare — the same single
+// source of truth the population model's user-class mix is built from —
+// not from bench-local tables.
 #include <cstdio>
 
 #include "measure/report.h"
@@ -17,20 +20,31 @@ int main() {
               tab.total);
   std::printf("%s\n", tab.asText().c_str());
 
+  using survey::AccessMethod;
+  using survey::Figure3;
+  const double paper_vpn = survey::bypassShare(AccessMethod::kNativeVpn) +
+                           survey::bypassShare(AccessMethod::kOpenVpn);
   measure::Report report("Fig. 3: share among GFW-bypassing respondents (%)",
                          {"paper", "reproduced"});
-  const double vpn = tab.share(survey::AccessMethod::kNativeVpn) +
-                     tab.share(survey::AccessMethod::kOpenVpn);
-  report.addRow({"bypass GFW at all", {26.0, tab.bypassFraction() * 100}});
-  report.addRow({"VPN (all)", {43.0, vpn * 100}});
-  report.addRow({"  native VPN (of VPN)", {93.0, tab.nativeWithinVpn() * 100}});
+  const double vpn = tab.share(AccessMethod::kNativeVpn) +
+                     tab.share(AccessMethod::kOpenVpn);
+  report.addRow({"bypass GFW at all",
+                 {Figure3::kBypassFraction * 100, tab.bypassFraction() * 100}});
+  report.addRow({"VPN (all)", {paper_vpn * 100, vpn * 100}});
+  report.addRow({"  native VPN (of VPN)",
+                 {Figure3::kNativeVpnWithinVpn * 100,
+                  tab.nativeWithinVpn() * 100}});
+  report.addRow({"  OpenVPN (of VPN)",
+                 {Figure3::kOpenVpnWithinVpn * 100,
+                  (1.0 - tab.nativeWithinVpn()) * 100}});
+  report.addRow({"Tor", {survey::bypassShare(AccessMethod::kTor) * 100,
+                         tab.share(AccessMethod::kTor) * 100}});
   report.addRow(
-      {"  OpenVPN (of VPN)", {7.0, (1.0 - tab.nativeWithinVpn()) * 100}});
-  report.addRow({"Tor", {2.0, tab.share(survey::AccessMethod::kTor) * 100}});
-  report.addRow({"Shadowsocks",
-                 {21.0, tab.share(survey::AccessMethod::kShadowsocks) * 100}});
-  report.addRow(
-      {"other methods", {34.0, tab.share(survey::AccessMethod::kOther) * 100}});
+      {"Shadowsocks", {survey::bypassShare(AccessMethod::kShadowsocks) * 100,
+                       tab.share(AccessMethod::kShadowsocks) * 100}});
+  report.addRow({"other methods",
+                 {survey::bypassShare(AccessMethod::kOther) * 100,
+                  tab.share(AccessMethod::kOther) * 100}});
   report.print();
   return 0;
 }

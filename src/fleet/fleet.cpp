@@ -347,6 +347,15 @@ void Fleet::tryPick(net::Ipv4 client, transport::ConnectTarget target,
       });
 }
 
+std::optional<int> Fleet::leaseBackgroundSlot(net::Ipv4 client) {
+  const auto id = balancer_.pick(client);
+  if (!id.has_value()) return std::nullopt;
+  noteAcquire(*id);
+  return id;
+}
+
+void Fleet::releaseBackgroundSlot(int id) { noteRelease(id); }
+
 void Fleet::noteAcquire(int id) {
   (void)id;
   ++active_streams_;

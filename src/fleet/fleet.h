@@ -99,6 +99,15 @@ class Fleet final : public core::TunnelProvider {
   bool scaleUp();
   bool scaleDown();
 
+  // ---- hybrid-population seam ----
+  // A flow-level background access leases a balancer slot and counts into
+  // the same sc.fleet.active_streams load the autoscaler reads — real
+  // contention for the packet-level cohort — without dialing a tunnel.
+  // Returns the leased backend id (release it when the modeled access
+  // ends), or nullopt when no backend is available.
+  std::optional<int> leaseBackgroundSlot(net::Ipv4 client);
+  void releaseBackgroundSlot(int id);
+
   // ---- introspection ----
   int size() const { return static_cast<int>(endpoints_.size()); }
   std::vector<net::Endpoint> liveEndpoints() const;

@@ -52,6 +52,10 @@ class Gfw final : public net::PacketFilter {
   void enableActiveProbing(transport::HostStack& probe_stack);
 
   GfwConfig& config() noexcept { return config_; }
+  // Read-only tap for analytic models (population flow path): the live
+  // policy, without granting mutation rights. Mutations must go through
+  // mutatePolicy so re-disciplining + version bumps stay coherent.
+  const GfwConfig& config() const noexcept { return config_; }
 
   // ---- policy-mutation seam (chaos escalation waves) ----
   // Applies `fn` to the live config, re-disciplines every already-classified

@@ -23,6 +23,7 @@ const char* eventTypeName(EventType type) {
     case EventType::kAccessOutcome: return "access_outcome";
     case EventType::kSpanEnd: return "span_end";
     case EventType::kSloAlert: return "slo_alert";
+    case EventType::kPopulationTick: return "population_tick";
   }
   return "?";
 }

@@ -48,13 +48,15 @@ enum class EventType : std::uint8_t {
                    // what=span kind name, pkt_id=span id, a=duration us
   kSloAlert,       // what="page"|"ticket"|"clear", detail=SLO name,
                    // a=burn rate x1000 at evaluation time
+  kPopulationTick, // what="tick", detail=class name ("" for the slice
+                   // total), a=flow-level arrivals evaluated in the slice
 };
 
 // Number of EventType values. Keep in sync when adding enum values; the
 // exhaustiveness test in test_obs.cpp walks [0, kEventTypeCount) and fails
 // on any missing or duplicate eventTypeName.
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::kSloAlert) + 1;
+    static_cast<std::size_t>(EventType::kPopulationTick) + 1;
 
 const char* eventTypeName(EventType type);
 

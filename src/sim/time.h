@@ -23,4 +23,15 @@ constexpr double toMillis(Time t) {
   return static_cast<double>(t) / kMillisecond;
 }
 
+// Wall-clock-of-day helpers for diurnal load models (population activity
+// curves, per-path GFW policy variation): position of `t` within its
+// simulated day. t < 0 is treated as time 0.
+constexpr Time timeOfDay(Time t) { return t < 0 ? 0 : t % kDay; }
+constexpr int hourOfDay(Time t) { return static_cast<int>(timeOfDay(t) / kHour); }
+// Fractional hour in [0, 24): lets curves interpolate between hour buckets
+// instead of stepping at bucket edges.
+constexpr double fractionalHourOfDay(Time t) {
+  return static_cast<double>(timeOfDay(t)) / static_cast<double>(kHour);
+}
+
 }  // namespace sc::sim

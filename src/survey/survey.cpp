@@ -55,6 +55,64 @@ std::string Tabulation::asText() const {
   return buf;
 }
 
+double bypassShare(AccessMethod m) {
+  const double vpn = Figure3::kVpnShare;
+  switch (m) {
+    case AccessMethod::kNone: return 0.0;
+    case AccessMethod::kNativeVpn: return vpn * Figure3::kNativeVpnWithinVpn;
+    case AccessMethod::kOpenVpn: return vpn * Figure3::kOpenVpnWithinVpn;
+    case AccessMethod::kTor: return Figure3::kTorShare;
+    case AccessMethod::kShadowsocks: return Figure3::kShadowsocksShare;
+    case AccessMethod::kOther: return Figure3::kOtherShare;
+  }
+  return 0.0;
+}
+
+std::vector<MethodShare> populationShares() {
+  std::vector<MethodShare> shares;
+  shares.push_back({AccessMethod::kNone, 1.0 - Figure3::kBypassFraction});
+  for (const AccessMethod m :
+       {AccessMethod::kNativeVpn, AccessMethod::kOpenVpn, AccessMethod::kTor,
+        AccessMethod::kShadowsocks, AccessMethod::kOther}) {
+    shares.push_back({m, Figure3::kBypassFraction * bypassShare(m)});
+  }
+  return shares;
+}
+
+namespace {
+
+// SplitMix64 finalizer: the per-user hash behind MethodSampler. Fixed
+// constants (not std::hash — implementations differ) so assignments are
+// identical on every platform and library.
+std::uint64_t mixU64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MethodSampler::MethodSampler(std::uint64_t seed)
+    : seed_(seed), shares_(populationShares()) {
+  double acc = 0;
+  for (auto& s : shares_) {
+    acc += s.share;
+    s.share = acc;  // convert to CDF upper edges
+  }
+  shares_.back().share = 1.0;  // absorb rounding in the last bucket
+}
+
+AccessMethod MethodSampler::methodOf(std::uint64_t user_id) const noexcept {
+  const std::uint64_t h = mixU64(mixU64(seed_) ^ mixU64(user_id));
+  // 53-bit mantissa -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  for (const auto& s : shares_) {
+    if (u < s.share) return s.method;
+  }
+  return shares_.back().method;
+}
+
 std::vector<SurveyResponse> synthesizeResponses(sim::Rng& rng, int n) {
   // Largest-remainder apportionment against the Fig. 3 distribution.
   const int bypassing = static_cast<int>(
@@ -64,14 +122,12 @@ std::vector<SurveyResponse> synthesizeResponses(sim::Rng& rng, int n) {
     double target;
     int count = 0;
   };
-  const double vpn = Figure3::kVpnShare;
-  std::vector<Quota> quotas = {
-      {AccessMethod::kNativeVpn, vpn * Figure3::kNativeVpnWithinVpn},
-      {AccessMethod::kOpenVpn, vpn * Figure3::kOpenVpnWithinVpn},
-      {AccessMethod::kTor, Figure3::kTorShare},
-      {AccessMethod::kShadowsocks, Figure3::kShadowsocksShare},
-      {AccessMethod::kOther, Figure3::kOtherShare},
-  };
+  std::vector<Quota> quotas;
+  for (const AccessMethod m :
+       {AccessMethod::kNativeVpn, AccessMethod::kOpenVpn, AccessMethod::kTor,
+        AccessMethod::kShadowsocks, AccessMethod::kOther}) {
+    quotas.push_back({m, bypassShare(m)});
+  }
   int assigned = 0;
   std::vector<std::pair<double, std::size_t>> remainders;
   for (std::size_t i = 0; i < quotas.size(); ++i) {

@@ -59,8 +59,45 @@ struct Tabulation {
   std::string asText() const;
 };
 
+// ---- the distribution as a reusable object ----------------------------
+
+// Share of each method across the WHOLE surveyed population (kNone carries
+// the non-bypassing 74%), derived from the Figure3 constants. Shares sum to
+// 1 and the vector is in AccessMethod declaration order. This is the single
+// source of truth consumed by synthesizeResponses, the Fig. 3 bench, and
+// the population model's user-class mix.
+struct MethodShare {
+  AccessMethod method = AccessMethod::kNone;
+  double share = 0;  // fraction of all respondents
+};
+std::vector<MethodShare> populationShares();
+
+// Share of `m` among respondents who bypass at all (Fig. 3's pie).
+double bypassShare(AccessMethod m);
+
+// Seeded deterministic per-user method assignment: methodOf(id) is a pure
+// function of (seed, id) — no statics, no stored per-user state, stable
+// under any call order — so million-scholar populations can assign every
+// user a consistent method without materializing them. Distinct seeds give
+// distinct assignments with the same aggregate distribution.
+class MethodSampler {
+ public:
+  explicit MethodSampler(std::uint64_t seed);
+
+  AccessMethod methodOf(std::uint64_t user_id) const noexcept;
+
+  // The cumulative distribution the sampler walks (population-wide shares,
+  // upper edges ascending in AccessMethod declaration order).
+  const std::vector<MethodShare>& shares() const noexcept { return shares_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<MethodShare> shares_;  // share holds the CDF upper edge
+};
+
 // Synthesizes a response set whose tabulation matches Fig. 3 (deterministic
-// largest-remainder allocation; rng only shuffles assignment order).
+// largest-remainder allocation over populationShares(); rng only shuffles
+// assignment order).
 std::vector<SurveyResponse> synthesizeResponses(sim::Rng& rng,
                                                 int n = Figure3::kResponses);
 

@@ -73,6 +73,51 @@ TEST(Survey, ScalesToOtherSampleSizes) {
   EXPECT_NEAR(tab.share(AccessMethod::kShadowsocks), 0.21, 0.01);
 }
 
+TEST(Survey, PopulationSharesSumToOneAndCarryNonBypassers) {
+  const auto shares = populationShares();
+  ASSERT_EQ(shares.size(), 6u);
+  EXPECT_EQ(shares.front().method, AccessMethod::kNone);
+  EXPECT_NEAR(shares.front().share, 1.0 - Figure3::kBypassFraction, 1e-12);
+  double total = 0;
+  for (const auto& s : shares) total += s.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Consistency with the per-method pie: population share = bypass share
+  // scaled by the bypassing fraction.
+  for (const auto& s : shares) {
+    if (s.method == AccessMethod::kNone) continue;
+    EXPECT_NEAR(s.share, Figure3::kBypassFraction * bypassShare(s.method),
+                1e-12);
+  }
+}
+
+TEST(Survey, MethodSamplerIsDeterministicPerUserAndSeed) {
+  const MethodSampler a(2015), b(2015), c(7);
+  bool same_seed_identical = true, cross_seed_identical = true;
+  for (std::uint64_t id = 0; id < 5000; ++id) {
+    same_seed_identical &= a.methodOf(id) == b.methodOf(id);
+    cross_seed_identical &= a.methodOf(id) == c.methodOf(id);
+  }
+  EXPECT_TRUE(same_seed_identical);
+  EXPECT_FALSE(cross_seed_identical);
+  // Stable under call order: methodOf is a pure function of (seed, id).
+  EXPECT_EQ(a.methodOf(4999), b.methodOf(4999));
+  EXPECT_EQ(a.methodOf(0), b.methodOf(0));
+}
+
+TEST(Survey, MethodSamplerMatchesFig3AtScale) {
+  const MethodSampler sampler(2015);
+  constexpr std::uint64_t kUsers = 200000;
+  std::map<AccessMethod, std::uint64_t> counts;
+  for (std::uint64_t id = 0; id < kUsers; ++id) ++counts[sampler.methodOf(id)];
+  const double n = static_cast<double>(kUsers);
+  EXPECT_NEAR(counts[AccessMethod::kNone] / n, 0.74, 0.01);
+  EXPECT_NEAR(counts[AccessMethod::kNativeVpn] / n, 0.26 * 0.43 * 0.93,
+              0.005);
+  EXPECT_NEAR(counts[AccessMethod::kTor] / n, 0.26 * 0.02, 0.003);
+  EXPECT_NEAR(counts[AccessMethod::kShadowsocks] / n, 0.26 * 0.21, 0.005);
+  EXPECT_NEAR(counts[AccessMethod::kOther] / n, 0.26 * 0.34, 0.005);
+}
+
 TEST(Survey, TextSummaryMentionsTheHeadlineNumbers) {
   sim::Rng rng(5);
   const auto tab = tabulate(synthesizeResponses(rng));
