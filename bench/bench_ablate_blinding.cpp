@@ -7,6 +7,7 @@
 //   (d) a hypothetical GFW that throttles ALL unknown flows, registered or
 //       not — byte-map loses; printable still passes the entropy classifier
 #include "bench_common.h"
+#include "measure/report.h"
 
 using namespace sc;
 using namespace sc::measure;

@@ -3,6 +3,7 @@
 // every page load pays the authentication connection again. Sweeping the
 // timeout shows the crossover.
 #include "bench_common.h"
+#include "measure/report.h"
 
 using namespace sc;
 using namespace sc::measure;

@@ -4,6 +4,7 @@
 // VPN users to "frequently and manually reconfigure their network
 // connections". Measured: PLT to a domestic site with each setup.
 #include "bench_common.h"
+#include "measure/report.h"
 
 using namespace sc;
 using namespace sc::measure;

@@ -4,6 +4,7 @@
 // Shows why "native VPN is robust" is a policy statement, not a technical
 // one — the same protocol collapses when the discipline flips back on.
 #include "bench_common.h"
+#include "measure/report.h"
 
 using namespace sc;
 using namespace sc::measure;

@@ -3,6 +3,7 @@
 // costs: PAC file size (every browser downloads it), PAC evaluation work
 // (every request consults it), proxy matching cost, and agency audit effort.
 #include "bench_common.h"
+#include "measure/report.h"
 
 #include <chrono>
 

@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "measure/campaign.h"
-#include "measure/report.h"
 #include "measure/resource_model.h"
 #include "measure/testbed.h"
 #include "obs/export.h"

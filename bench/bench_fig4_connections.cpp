@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "measure/report.h"
 
 using namespace sc;
 using namespace sc::measure;

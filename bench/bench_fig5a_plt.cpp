@@ -1,6 +1,7 @@
 // Figure 5a: page load time (first-time vs subsequent) for the five access
 // methods, from a day-style campaign (one access per simulated minute).
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

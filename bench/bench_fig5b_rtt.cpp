@@ -2,6 +2,7 @@
 // single-object probes interleaved with the PLT campaign (§4.3 uses RTT to
 // explain why first-time PLT correlates with path length).
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

@@ -2,6 +2,7 @@
 // Includes the §4.3 US-side control (Tor/Shadowsocks from the US lose <0.1%,
 // proving the GFW, not the protocols, causes the loss).
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

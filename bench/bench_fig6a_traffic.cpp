@@ -2,6 +2,7 @@
 // ~19 KB for a direct (uncensored) access; each method adds tunneling /
 // encryption / obfuscation overhead on top.
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

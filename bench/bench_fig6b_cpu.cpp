@@ -2,6 +2,7 @@
 // vs extra client software (OpenVPN daemon / ss-local), driven through the
 // activity-parametric model of measure/resource_model.h.
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

@@ -1,6 +1,7 @@
 // Figure 6c: client memory before (idle browser) and after (accessing
 // Scholar), per method, through the activity-driven memory model.
 #include "bench_common.h"
+#include "measure/report.h"
 
 int main(int argc, char** argv) {
   using namespace sc;

@@ -6,6 +6,7 @@
 // the worker count for the parallel executor (results are identical for any
 // thread count, only wall clock changes).
 #include "bench_common.h"
+#include "measure/report.h"
 #include "measure/parallel.h"
 
 int main() {

@@ -1,18 +1,8 @@
 #include "fleet/cache.h"
 
-namespace sc::fleet {
+#include "util/hash.h"
 
-namespace {
-// FNV-1a, fixed across platforms (see header).
-std::uint64_t fnv1a(const std::string& key) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : key) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-}  // namespace
+namespace sc::fleet {
 
 ShardedLruCache::ShardedLruCache(sim::Simulator& sim, CacheOptions options)
     : sim_(sim), options_(options) {

@@ -1,7 +1,6 @@
 #include "http/origin.h"
 
 #include "crypto/sha256.h"
-#include "util/strings.h"
 
 namespace sc::http {
 

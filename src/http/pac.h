@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "net/address.h"
-#include "util/bytes.h"
 
 namespace sc::http {
 

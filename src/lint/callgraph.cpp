@@ -1,0 +1,373 @@
+#include "lint/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sc::lint {
+
+namespace {
+
+// "std::this_thread" is compatible with a call qualified "this_thread" (and
+// with a bare call): neither side contradicts the other. Contradiction is a
+// non-suffix mismatch.
+bool qualifierCompatible(const std::string& call_qual,
+                         const std::string& conf_qual) {
+  if (call_qual.empty() || conf_qual.empty()) return true;
+  if (call_qual == conf_qual) return true;
+  if (endsWith(conf_qual, "::" + call_qual)) return true;
+  if (endsWith(call_qual, "::" + conf_qual)) return true;
+  return false;
+}
+
+bool qualifiedEndsWith(const std::string& qualified,
+                       const std::string& suffix) {
+  return qualified == suffix || endsWith(qualified, "::" + suffix);
+}
+
+// The det-* token rules whose unsuppressed findings anchor taint.
+bool isDetTokenRule(const std::string& rule) {
+  return rule == "det-wallclock" || rule == "det-rand" ||
+         rule == "det-unordered-iter" || rule == "det-pointer-key" ||
+         rule == "det-pointer-format";
+}
+
+// Member calls carry no receiver type, so `x.begin()` is indistinguishable
+// from `tracer.begin()`. Names that collide with the standard container /
+// vocabulary are never resolved as bare member calls: a wrong edge here
+// invents layer violations and taint chains out of `std::string::begin`.
+// The cost is a documented false-negative tier — repo methods that reuse
+// these names are reachable only through qualified calls.
+bool isUbiquitousMemberName(const std::string& name) {
+  static const std::set<std::string> kCommon = {
+      "begin",    "end",      "rbegin",   "rend",     "cbegin",
+      "cend",     "get",      "size",     "empty",    "clear",
+      "find",     "rfind",    "count",    "contains", "insert",
+      "erase",    "emplace",  "emplace_back",         "push_back",
+      "pop_back", "push_front",           "pop_front",
+      "front",    "back",     "data",     "at",       "reset",
+      "release",  "swap",     "str",      "c_str",    "substr",
+      "append",   "assign",   "resize",   "reserve",  "length",
+      "first",    "second",   "value",    "has_value","value_or",
+      "push",     "pop",      "top",      "merge",    "load",
+      "store",    "lock",     "unlock",   "wait",     "compare",
+      "max_size", "capacity", "shrink_to_fit"};
+  return kCommon.count(name) != 0;
+}
+
+bool simDriven(const std::string& module, const LayerGraph& layers) {
+  if (module.empty()) return false;
+  return module == "sim" || layers.permits(module, "sim");
+}
+
+// A det-taint-reach waiver on the function's signature line (or directly
+// above it) — used both to suppress the finding and to cut propagation.
+bool taintWaived(const SymbolIndex& index, const FunctionInfo& fn) {
+  const FileEntry* entry = index.fileOf(fn.file);
+  if (entry == nullptr) return false;
+  for (const AllowSite& a : entry->allows) {
+    if (a.rule != "det-taint-reach") continue;
+    if (fn.line == a.line || fn.line == a.line + 1) return true;
+  }
+  return false;
+}
+
+std::string shortLoc(const FunctionInfo& fn) {
+  return fn.file + ":" + std::to_string(fn.line);
+}
+
+// "sc::http::Headers" for "sc::http::Headers::get"; empty for free functions.
+std::string classOf(const FunctionInfo& fn) {
+  if (!fn.is_method) return {};
+  if (fn.qualified.size() < fn.base.size() + 2) return {};
+  return fn.qualified.substr(0, fn.qualified.size() - fn.base.size() - 2);
+}
+
+}  // namespace
+
+CallGraph buildCallGraph(const SymbolIndex& index, const LayerGraph* layers) {
+  CallGraph graph;
+  graph.edges.resize(index.functions.size());
+  for (std::size_t caller = 0; caller < index.functions.size(); ++caller) {
+    const FunctionInfo& fn = index.functions[caller];
+    for (const CallSite& call : fn.calls) {
+      if (call.member && call.qualifier.empty() &&
+          isUbiquitousMemberName(call.name))
+        continue;
+      const auto it = index.by_base.find(call.name);
+      if (it == index.by_base.end()) continue;
+      std::vector<int> cands;
+      for (const int id : it->second) {
+        const FunctionInfo& cand = index.functions[static_cast<std::size_t>(id)];
+        if (id == static_cast<int>(caller)) continue;  // self-recursion: no edge needed
+        if (!call.qualifier.empty() &&
+            !qualifiedEndsWith(cand.qualified,
+                               call.qualifier + "::" + call.name))
+          continue;
+        if (call.member && !cand.is_method) continue;
+        // An unqualified non-member call can reach a method only via an
+        // implicit `this` — i.e. when the caller is a method of the same
+        // class. Anything else (local lambdas, variable declarations that
+        // lex like calls) must not resolve into someone else's class.
+        // Constructors are exempt: `Foo f(args)` is exactly how any class
+        // invokes another class's ctor.
+        if (!call.member && call.qualifier.empty() && cand.is_method &&
+            classOf(cand) != classOf(fn) &&
+            !qualifiedEndsWith(classOf(cand), cand.base))
+          continue;
+        cands.push_back(id);
+      }
+      if (cands.empty()) continue;
+      // Bare unqualified calls prefer the caller's own module — plain C++
+      // name lookup would find the same-namespace overload first.
+      if (!call.member && call.qualifier.empty() && !fn.module.empty()) {
+        std::vector<int> same;
+        for (const int id : cands)
+          if (index.functions[static_cast<std::size_t>(id)].module == fn.module)
+            same.push_back(id);
+        if (!same.empty()) cands = std::move(same);
+      }
+      // Ambiguous member calls (virtual dispatch, shared method names): keep
+      // only candidates on layers the caller can even see — it cannot hold
+      // an object of a type it cannot name. Single candidates are kept
+      // unconditionally so real smuggling still resolves.
+      if (cands.size() > 1 && call.member && layers != nullptr &&
+          !fn.module.empty()) {
+        std::vector<int> visible;
+        for (const int id : cands) {
+          const std::string& m =
+              index.functions[static_cast<std::size_t>(id)].module;
+          if (m.empty() || m == fn.module || layers->permits(fn.module, m))
+            visible.push_back(id);
+        }
+        if (!visible.empty()) cands = std::move(visible);
+      }
+      std::set<std::string> modules;
+      for (const int id : cands)
+        modules.insert(index.functions[static_cast<std::size_t>(id)].module);
+      const bool confident = cands.size() == 1 || modules.size() == 1;
+      std::set<int> seen;
+      for (const int id : cands) {
+        if (!seen.insert(id).second) continue;  // overloads in one spot
+        graph.edges[caller].push_back(Edge{id, call.line, confident});
+      }
+    }
+  }
+  return graph;
+}
+
+TaintConfig parseTaintConf(std::string_view text) {
+  TaintConfig conf;
+  int line_no = 0;
+  for (const std::string& raw : splitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trimWhitespace(line);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    // Qualified names contain "::"; the separator is the first ':' not
+    // followed by another ':'.
+    std::size_t sep = std::string_view::npos;
+    for (std::size_t p = colon; p != std::string_view::npos;
+         p = line.find(':', p + 1)) {
+      if (p + 1 < line.size() && line[p + 1] == ':') {
+        ++p;  // skip the '::' pair
+        continue;
+      }
+      sep = p;
+      break;
+    }
+    if (sep == std::string_view::npos) {
+      conf.errors.push_back("taint_sources.conf:" + std::to_string(line_no) +
+                            ": expected '<qualified-name>: <reason>'");
+      continue;
+    }
+    TaintSource src;
+    src.name = std::string(trimWhitespace(line.substr(0, sep)));
+    src.reason = std::string(trimWhitespace(line.substr(sep + 1)));
+    if (src.name.empty() || src.reason.empty()) {
+      conf.errors.push_back("taint_sources.conf:" + std::to_string(line_no) +
+                            ": source and reason are both mandatory");
+      continue;
+    }
+    const std::size_t last = src.name.rfind("::");
+    if (last == std::string::npos) {
+      src.base = src.name;
+    } else {
+      src.qualifier = src.name.substr(0, last);
+      src.base = src.name.substr(last + 2);
+    }
+    conf.sources.push_back(std::move(src));
+  }
+  return conf;
+}
+
+std::vector<Finding> taintPass(const SymbolIndex& index, const CallGraph& graph,
+                               const TaintConfig& conf,
+                               const LayerGraph& layers,
+                               const std::vector<FileReport>& reports) {
+  const std::size_t n = index.functions.size();
+  // Per-function taint state: the hop toward the source (-1 = direct
+  // anchor), the anchor's description, and the BFS depth for shortest-chain
+  // reporting.
+  struct State {
+    bool tainted = false;
+    int next = -1;
+    std::string anchor;
+    int depth = 0;
+  };
+  std::vector<State> state(n);
+  std::deque<int> queue;
+
+  auto anchor = [&](int id, std::string what) {
+    State& s = state[static_cast<std::size_t>(id)];
+    if (s.tainted) return;
+    s.tainted = true;
+    s.next = -1;
+    s.anchor = std::move(what);
+    s.depth = 0;
+    queue.push_back(id);
+  };
+
+  // (a) unsuppressed token-level det findings inside a body.
+  for (const FileReport& r : reports) {
+    for (const Finding& f : r.findings) {
+      if (f.suppressed || !isDetTokenRule(f.rule)) continue;
+      const int id = index.functionAt(r.file, f.line);
+      if (id < 0) continue;
+      anchor(id, "source: [" + f.rule + "] " + f.message + " at " + r.file +
+                     ":" + std::to_string(f.line));
+    }
+  }
+  // (b) calls matching lint/taint_sources.conf. A name that resolves inside
+  // the index is our own function, not the external the conf names.
+  for (std::size_t id = 0; id < n; ++id) {
+    const FunctionInfo& fn = index.functions[id];
+    for (const CallSite& call : fn.calls) {
+      if (index.by_base.count(call.name) != 0) continue;
+      for (const TaintSource& src : conf.sources) {
+        if (call.name != src.base) continue;
+        if (!qualifierCompatible(call.qualifier, src.qualifier)) continue;
+        anchor(static_cast<int>(id),
+               "source: " + src.name + " (" + src.reason +
+                   ", lint/taint_sources.conf) called at " + fn.file + ":" +
+                   std::to_string(call.line));
+        break;
+      }
+    }
+  }
+
+  // Reverse edges once, then BFS upward. A waived function is itself
+  // taintable (its finding will be matched to the allow) but never expands.
+  std::vector<std::vector<int>> callers(n);
+  for (std::size_t caller = 0; caller < n; ++caller)
+    for (const Edge& e : graph.edges[caller])
+      callers[static_cast<std::size_t>(e.callee)].push_back(
+          static_cast<int>(caller));
+
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const FunctionInfo& fn = index.functions[static_cast<std::size_t>(id)];
+    if (taintWaived(index, fn)) continue;
+    for (const int caller : callers[static_cast<std::size_t>(id)]) {
+      State& s = state[static_cast<std::size_t>(caller)];
+      if (s.tainted) continue;
+      s.tainted = true;
+      s.next = id;
+      s.depth = state[static_cast<std::size_t>(id)].depth + 1;
+      queue.push_back(caller);
+    }
+  }
+
+  std::vector<Finding> out;
+  for (std::size_t id = 0; id < n; ++id) {
+    const State& s = state[id];
+    const FunctionInfo& fn = index.functions[id];
+    if (!s.tainted || !simDriven(fn.module, layers)) continue;
+    Finding f;
+    f.file = fn.file;
+    f.line = fn.line;
+    f.rule = "det-taint-reach";
+    f.message = "'" + fn.qualified + "' (module " + fn.module +
+                ") transitively reaches a nondeterminism source";
+    int hop = static_cast<int>(id);
+    while (hop >= 0) {
+      const State& hs = state[static_cast<std::size_t>(hop)];
+      const FunctionInfo& hf = index.functions[static_cast<std::size_t>(hop)];
+      f.chain.push_back(hf.qualified + " (" + shortLoc(hf) + ")");
+      if (hs.next < 0) {
+        f.chain.push_back(hs.anchor);
+        break;
+      }
+      hop = hs.next;
+    }
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Finding> checkCallLayering(const SymbolIndex& index,
+                                       const CallGraph& graph,
+                                       const LayerGraph& layers) {
+  std::vector<Finding> out;
+  std::set<std::string> reported;  // a line with two calls to one callee is one finding
+  for (std::size_t caller = 0; caller < index.functions.size(); ++caller) {
+    const FunctionInfo& fn = index.functions[caller];
+    if (fn.module.empty() || !layers.knows(fn.module)) continue;
+    for (const Edge& e : graph.edges[caller]) {
+      if (!e.confident) continue;
+      const FunctionInfo& callee =
+          index.functions[static_cast<std::size_t>(e.callee)];
+      if (callee.module.empty() || callee.module == fn.module) continue;
+      if (!layers.knows(callee.module)) continue;
+      if (layers.permits(fn.module, callee.module)) continue;
+      if (!reported
+               .insert(fn.file + ":" + std::to_string(e.line) + ":" +
+                       callee.qualified)
+               .second)
+        continue;
+      Finding f;
+      f.file = fn.file;
+      f.line = e.line;
+      f.rule = "layer-call-violation";
+      f.message = "'" + fn.qualified + "' (module " + fn.module + ") calls '" +
+                  callee.qualified + "' defined in module '" + callee.module +
+                  "' (not reachable in the layer DAG; a forward declaration "
+                  "is not a licence)";
+      out.push_back(std::move(f));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+std::string renderCallGraph(const SymbolIndex& index, const CallGraph& graph) {
+  std::vector<std::string> lines;
+  for (std::size_t caller = 0; caller < index.functions.size(); ++caller) {
+    const FunctionInfo& fn = index.functions[caller];
+    for (const Edge& e : graph.edges[caller]) {
+      const FunctionInfo& callee =
+          index.functions[static_cast<std::size_t>(e.callee)];
+      lines.push_back(fn.qualified + " -> " + callee.qualified + "  (" +
+                      fn.file + ":" + std::to_string(e.line) +
+                      (e.confident ? ")" : ") [ambiguous]"));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+}  // namespace sc::lint

@@ -1,0 +1,86 @@
+// Call-graph construction and the determinism-taint pass over the symbol
+// index — the whole-program half of sclint's determinism contract.
+//
+// Resolution is name-based and deliberately over-approximate in the
+// direction that is safe for taint: a member call with several candidate
+// methods (virtual dispatch, or just a shared name) fans out to all of
+// them, while only *confident* edges — every surviving candidate in one
+// module — feed the symbol-level layering check, so ambiguity can widen a
+// taint cone but can never invent a layer violation.
+//
+// Taint sources are (a) unsuppressed token-level determinism findings
+// (det-wallclock/det-rand/...) located inside a function body — a *waived*
+// site was argued sim-safe and does not taint — and (b) calls to the
+// external functions listed in lint/taint_sources.conf (std::getenv,
+// hardware_concurrency, ...), which no token rule models. Taint propagates
+// transitively up the call graph; every tainted function on a sim-driven
+// layer (a module that can reach `sim` in lint/layers.conf, plus sim
+// itself) is a `det-taint-reach` finding carrying the full call chain down
+// to its source. A det-taint-reach waiver on a function both suppresses its
+// own finding and cuts propagation to its callers: the waiver's reason is a
+// claim that the nondeterminism does not escape that function.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/linter.h"
+
+namespace sc::lint {
+
+struct Edge {
+  int callee = -1;        // index into SymbolIndex::functions
+  int line = 0;           // call-site line in the caller's file
+  bool confident = false; // unique-enough resolution; feeds layer checks
+};
+
+struct CallGraph {
+  // Indexed by function id, same order as SymbolIndex::functions.
+  std::vector<std::vector<Edge>> edges;
+};
+
+CallGraph buildCallGraph(const SymbolIndex& index, const LayerGraph* layers);
+
+// lint/taint_sources.conf: one `<qualified-name>: <reason>` per line, '#'
+// comments. Names may be partially qualified; a call site matches when the
+// base names agree and neither side's qualification contradicts the other
+// ("getenv" and "std::getenv" match each other).
+struct TaintSource {
+  std::string name;       // as written in the conf
+  std::string base;       // last "::" component
+  std::string qualifier;  // the rest ("" when unqualified)
+  std::string reason;
+};
+
+struct TaintConfig {
+  std::vector<TaintSource> sources;
+  std::vector<std::string> errors;  // parse diagnostics; empty = ok
+  bool ok() const { return errors.empty(); }
+};
+
+TaintConfig parseTaintConf(std::string_view text);
+
+// The determinism-taint pass. `reports` supplies the token-level findings
+// that anchor taint (exactly the per-file reports lintSource produced for
+// the same tree). Returned findings are unsuppressed `det-taint-reach`
+// entries with `Finding::chain` populated; the caller routes them through
+// applyTreeFindings() for waiver matching.
+std::vector<Finding> taintPass(const SymbolIndex& index, const CallGraph& graph,
+                               const TaintConfig& conf,
+                               const LayerGraph& layers,
+                               const std::vector<FileReport>& reports);
+
+// Symbol-level layering: confident call edges that cross the module DAG
+// against lint/layers.conf — the smuggling the include rule cannot see
+// because a forward declaration needs no #include.
+std::vector<Finding> checkCallLayering(const SymbolIndex& index,
+                                       const CallGraph& graph,
+                                       const LayerGraph& layers);
+
+// Deterministic text dump for `sclint --callgraph`: one
+// `caller -> callee  (file:line)` per resolved edge, sorted.
+std::string renderCallGraph(const SymbolIndex& index, const CallGraph& graph);
+
+}  // namespace sc::lint

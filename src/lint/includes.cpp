@@ -1,0 +1,177 @@
+#include "lint/includes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sc::lint {
+
+namespace {
+
+// src-relative include spelling -> index file key, for every indexed file.
+std::map<std::string, std::string> includeResolutionMap(
+    const SymbolIndex& index) {
+  std::map<std::string, std::string> out;
+  for (const auto& [path, entry] : index.files) {
+    (void)entry;
+    const std::string rel = srcRelative(path);
+    if (!rel.empty()) out.emplace(rel, path);
+  }
+  return out;
+}
+
+// foo.cpp's include of foo.h is the definition home, never "unused".
+bool isCompanion(const std::string& file, const std::string& target) {
+  const auto stem = [](const std::string& p) {
+    const std::size_t dot = p.rfind('.');
+    return dot == std::string::npos ? p : p.substr(0, dot);
+  };
+  if (!endsWith(file, ".cpp") && !endsWith(file, ".cc")) return false;
+  if (!endsWith(target, ".h") && !endsWith(target, ".hpp") &&
+      !endsWith(target, ".hh"))
+    return false;
+  return stem(file) == stem(target);
+}
+
+// Transitive declared-name closure per file, memoized; gray nodes (include
+// cycles) are simply not re-entered — the cycle pass reports them.
+class DeclaredClosure {
+ public:
+  DeclaredClosure(const SymbolIndex& index,
+                  const std::map<std::string, std::string>& resolve)
+      : index_(index), resolve_(resolve) {}
+
+  const std::set<std::string>& of(const std::string& file) {
+    const auto done = memo_.find(file);
+    if (done != memo_.end()) return done->second;
+    if (!visiting_.insert(file).second) {
+      static const std::set<std::string> kEmpty;
+      return kEmpty;
+    }
+    std::set<std::string> names;
+    if (const FileEntry* entry = index_.fileOf(file)) {
+      names = entry->declared;
+      for (const IncludeSite& inc : entry->includes) {
+        const auto target = resolve_.find(inc.path);
+        if (target == resolve_.end()) continue;
+        const std::set<std::string>& sub = of(target->second);
+        names.insert(sub.begin(), sub.end());
+      }
+    }
+    visiting_.erase(file);
+    return memo_.emplace(file, std::move(names)).first->second;
+  }
+
+ private:
+  const SymbolIndex& index_;
+  const std::map<std::string, std::string>& resolve_;
+  std::map<std::string, std::set<std::string>> memo_;
+  std::set<std::string> visiting_;
+};
+
+}  // namespace
+
+std::vector<Finding> checkUnusedIncludes(const SymbolIndex& index) {
+  const auto resolve = includeResolutionMap(index);
+  DeclaredClosure closure(index, resolve);
+  std::vector<Finding> out;
+  for (const auto& [file, entry] : index.files) {
+    for (const IncludeSite& inc : entry.includes) {
+      const auto target = resolve.find(inc.path);
+      if (target == resolve.end()) continue;  // external: unknown tier
+      if (target->second == file) continue;
+      if (isCompanion(file, target->second)) continue;
+      const std::set<std::string>& provides = closure.of(target->second);
+      bool used = false;
+      for (const std::string& name : provides) {
+        if (entry.used.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      Finding f;
+      f.file = file;
+      f.line = inc.line;
+      f.rule = "iwyu-lite";
+      f.message = "include \"" + inc.path +
+                  "\" declares no symbol this file uses (directly or through "
+                  "its own includes); remove it";
+      out.push_back(std::move(f));
+    }
+  }
+  return out;  // files map iteration is already (file, line) ordered
+}
+
+std::vector<Finding> checkIncludeCycles(const SymbolIndex& index) {
+  const auto resolve = includeResolutionMap(index);
+  std::vector<Finding> out;
+  std::set<std::string> done;
+  std::set<std::vector<std::string>> reported;  // canonical cycles
+
+  // Iterative-enough DFS: the stack of (file, include cursor) pairs plus
+  // the gray set. std::map iteration keeps every walk deterministic.
+  struct Frame {
+    std::string file;
+    std::size_t next = 0;
+  };
+  for (const auto& [root, root_entry] : index.files) {
+    (void)root_entry;
+    if (done.count(root) != 0) continue;
+    std::vector<Frame> stack;
+    std::set<std::string> gray;
+    stack.push_back(Frame{root, 0});
+    gray.insert(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const FileEntry* entry = index.fileOf(top.file);
+      if (entry == nullptr || top.next >= entry->includes.size()) {
+        gray.erase(top.file);
+        done.insert(top.file);
+        stack.pop_back();
+        continue;
+      }
+      const IncludeSite& inc = entry->includes[top.next++];
+      const auto target = resolve.find(inc.path);
+      if (target == resolve.end()) continue;
+      const std::string& next = target->second;
+      if (gray.count(next) != 0) {
+        // Back edge: the loop is the stack suffix from `next` down to here.
+        std::vector<std::string> cycle;
+        bool in_cycle = false;
+        for (const Frame& fr : stack) {
+          if (fr.file == next) in_cycle = true;
+          if (in_cycle) cycle.push_back(fr.file);
+        }
+        // Canonicalize (rotate the smallest member first) to report each
+        // loop once no matter which member the DFS entered through.
+        std::vector<std::string> canon = cycle;
+        const auto smallest =
+            std::min_element(canon.begin(), canon.end());
+        std::rotate(canon.begin(), smallest, canon.end());
+        if (!reported.insert(canon).second) continue;
+        Finding f;
+        f.file = top.file;
+        f.line = inc.line;
+        f.rule = "include-cycle";
+        f.message = "#include \"" + inc.path + "\" closes a cycle of " +
+                    std::to_string(cycle.size()) + " header(s)";
+        for (const std::string& member : cycle) f.chain.push_back(member);
+        f.chain.push_back(next + " (back to start)");
+        out.push_back(std::move(f));
+        continue;
+      }
+      if (done.count(next) != 0) continue;
+      gray.insert(next);
+      stack.push_back(Frame{next, 0});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return out;
+}
+
+}  // namespace sc::lint

@@ -1,0 +1,33 @@
+// Include-graph analysis over the symbol index: iwyu-lite and cycle
+// detection.
+//
+// iwyu-lite flags an `#include "mod/foo.h"` as unused when *nothing the
+// target declares — directly or through anything the target itself
+// includes — appears as an identifier in the including file*. The
+// transitive clause makes this deliberately lighter than real
+// include-what-you-use: an umbrella include whose re-exports are used stays
+// legal, so a finding means the include is truly dead weight, removable
+// without touching anything else. Only quoted includes that resolve to an
+// indexed file are judged; system headers and out-of-tree paths are an
+// unknown tier and stay silent.
+//
+// Cycle detection walks the resolved include graph (tri-color DFS in
+// deterministic order) and reports each loop once, anchored at the include
+// that closes it, with the full loop printed as the finding's chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/linter.h"
+
+namespace sc::lint {
+
+// `iwyu-lite` findings, line-anchored at the dead include directives.
+std::vector<Finding> checkUnusedIncludes(const SymbolIndex& index);
+
+// `include-cycle` findings, one per distinct loop.
+std::vector<Finding> checkIncludeCycles(const SymbolIndex& index);
+
+}  // namespace sc::lint

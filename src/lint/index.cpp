@@ -1,0 +1,565 @@
+#include "lint/index.h"
+
+#include <algorithm>
+
+#include "lint/rules.h"
+#include "util/strings.h"
+
+namespace sc::lint {
+
+namespace {
+
+bool isPunct(const Token* t, std::string_view text) {
+  return t != nullptr && t->kind == TokKind::kPunct && t->text == text;
+}
+
+bool isIdent(const Token* t, std::string_view text) {
+  return t != nullptr && t->kind == TokKind::kIdentifier && t->text == text;
+}
+
+// Identifiers that can precede '(' without being a callable or declarator
+// name. `operator` here makes overloaded operators invisible to the index —
+// a documented false-negative tier.
+bool isReservedName(const std::string& s) {
+  static const std::set<std::string> kReserved = {
+      "if",          "for",      "while",     "switch",     "catch",
+      "return",      "co_return","co_await",  "co_yield",   "sizeof",
+      "alignof",     "alignas",  "decltype",  "noexcept",   "throw",
+      "new",         "delete",   "operator",  "static_assert",
+      "defined",     "typeid",   "requires",  "assert",
+  };
+  return kReserved.count(s) != 0;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kType, kEnum, kBlock };
+  Kind kind;
+  std::string name;  // "" for anonymous namespaces and blocks
+};
+
+using Code = std::vector<const Token*>;
+
+const Token* at(const Code& code, std::size_t i) {
+  return i < code.size() ? code[i] : nullptr;
+}
+
+// Skips a balanced <...> starting at code[i] == '<'. Returns one past the
+// closing '>', or i + 1 when the run is unbalanced (a lone less-than).
+std::size_t skipAngleRun(const Code& code, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < code.size(); ++j) {
+    if (isPunct(code[j], "<")) ++depth;
+    if (isPunct(code[j], ">") && --depth == 0) return j + 1;
+    if (isPunct(code[j], ";") || isPunct(code[j], "{")) break;
+  }
+  return i + 1;
+}
+
+// Skips a balanced (...) starting at code[i] == '('. Returns one past the
+// close, or code.size() when unterminated.
+std::size_t skipParens(const Code& code, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < code.size(); ++j) {
+    if (isPunct(code[j], "(")) ++depth;
+    if (isPunct(code[j], ")") && --depth == 0) return j + 1;
+  }
+  return code.size();
+}
+
+// Walks back from the name token at `p`, collecting an explicit `A::B::`
+// qualifier chain. Returns the chain joined with "::" ("" when unqualified)
+// and sets `chain_begin` to the index of the chain's first token.
+std::string qualifierChain(const Code& code, std::size_t p,
+                           std::size_t& chain_begin) {
+  std::vector<std::string> parts;
+  chain_begin = p;
+  std::size_t i = p;
+  while (i >= 2 && isPunct(code[i - 1], "::") &&
+         code[i - 2]->kind == TokKind::kIdentifier) {
+    parts.push_back(code[i - 2]->text);
+    i -= 2;
+    chain_begin = i;
+  }
+  // Leading "::" (global qualification) — absorb it so the member test
+  // below looks at the right token.
+  if (i >= 1 && isPunct(code[i - 1], "::")) chain_begin = i - 1;
+  std::reverse(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += "::";
+    out += part;
+  }
+  return out;
+}
+
+class FileParser {
+ public:
+  FileParser(const std::string& path, const LayerGraph* layers,
+             SymbolIndex& index)
+      : path_(path), index_(index) {
+    module_ = layers != nullptr ? moduleOf(path, *layers) : moduleOf(path);
+  }
+
+  void run(const std::vector<Token>& toks) {
+    FileEntry& entry = index_.files[path_];
+    entry.file = path_;
+    entry.module = module_;
+    entry_ = &entry;
+
+    entry.allows = collectAllowSites(toks);
+    for (const Token& t : toks) {
+      if (!isCode(t)) continue;
+      code_.push_back(&t);
+      if (t.kind == TokKind::kIdentifier) entry.used.insert(t.text);
+    }
+    collectDirectives();
+    walk();
+  }
+
+ private:
+  // #include "..." and #define NAME out of the raw directive tokens.
+  void collectDirectives() {
+    for (std::size_t i = 0; i + 2 < code_.size(); ++i) {
+      if (!isPunct(code_[i], "#")) continue;
+      if (isIdent(code_[i + 1], "include") &&
+          code_[i + 2]->kind == TokKind::kString) {
+        std::string inc = code_[i + 2]->text;
+        if (inc.size() >= 2) inc = inc.substr(1, inc.size() - 2);
+        entry_->includes.push_back(IncludeSite{inc, code_[i + 2]->line});
+      } else if (isIdent(code_[i + 1], "define") &&
+                 code_[i + 2]->kind == TokKind::kIdentifier) {
+        entry_->declared.insert(code_[i + 2]->text);
+      }
+    }
+  }
+
+  bool atDeclScope() const {
+    return scopes_.empty() || scopes_.back().kind == Scope::kNamespace ||
+           scopes_.back().kind == Scope::kType;
+  }
+
+  std::string scopePrefix() const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if (s.name.empty()) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  bool inTypeScope() const {
+    for (const Scope& s : scopes_)
+      if (s.kind == Scope::kType) return true;
+    return false;
+  }
+
+  void walk() {
+    std::size_t stmt_begin = 0;  // first token of the current statement
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token* t = code_[i];
+
+      if (isPunct(t, ";")) {
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (isPunct(t, "}")) {
+        if (!scopes_.empty()) scopes_.pop_back();
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (isPunct(t, "{")) {
+        // A '{' nobody claimed below: plain block (or an initializer's
+        // braces — either way nothing inside declares at file scope).
+        scopes_.push_back(Scope{Scope::kBlock, ""});
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (isPunct(t, "#")) {
+        // Directives were handled up front; skip the name token so
+        // `#define rand ...` never reads as a declarator.
+        i += 1;
+        continue;
+      }
+      if (t->kind != TokKind::kIdentifier) continue;
+
+      if (t->text == "template" && isPunct(at(code_, i + 1), "<")) {
+        i = skipAngleRun(code_, i + 1) - 1;
+        continue;
+      }
+      if (t->text == "namespace") {
+        i = handleNamespace(i);
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (t->text == "enum") {
+        i = handleEnum(i);
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (t->text == "class" || t->text == "struct" || t->text == "union") {
+        i = handleClass(i);
+        stmt_begin = i + 1;
+        continue;
+      }
+      if (t->text == "using" || t->text == "typedef") {
+        i = handleAlias(i);
+        stmt_begin = i + 1;
+        continue;
+      }
+
+      // Function declarator: `name (` at namespace/class scope, not inside
+      // an initializer expression (no '=' earlier in the statement).
+      if (atDeclScope() && isPunct(at(code_, i + 1), "(") &&
+          !isReservedName(t->text)) {
+        bool in_initializer = false;
+        for (std::size_t j = stmt_begin; j < i; ++j)
+          if (isPunct(code_[j], "=")) in_initializer = true;
+        if (!in_initializer) {
+          const std::size_t next = handleFunction(i);
+          if (next != i) {
+            i = next;
+            stmt_begin = i + 1;
+            continue;
+          }
+        }
+      }
+
+      // Namespace-scope constants/variables: `... name = ...` / `... name{`
+      // / `extern ... name;` — the identifier right before '=', '{' or ';'
+      // is the declared name.
+      if (atDeclScope() &&
+          (isPunct(at(code_, i + 1), "=") || isPunct(at(code_, i + 1), ";") ||
+           isPunct(at(code_, i + 1), "{")) &&
+          i > stmt_begin && !isReservedName(t->text)) {
+        entry_->declared.insert(t->text);
+      }
+    }
+  }
+
+  // `namespace a::b {`, `namespace {`, `namespace x = y;`
+  std::size_t handleNamespace(std::size_t i) {
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < code_.size() && code_[j]->kind == TokKind::kIdentifier) {
+      if (!name.empty()) name += "::";
+      name += code_[j]->text;
+      ++j;
+      if (isPunct(at(code_, j), "::"))
+        ++j;
+      else
+        break;
+    }
+    if (isPunct(at(code_, j), "{")) {
+      scopes_.push_back(Scope{Scope::kNamespace, name});
+      return j;
+    }
+    while (j < code_.size() && !isPunct(code_[j], ";")) ++j;  // alias/weird
+    return j;
+  }
+
+  // `enum [class] Name [: type] { A, B = 1, }` — the name and every
+  // enumerator are declared symbols.
+  std::size_t handleEnum(std::size_t i) {
+    std::size_t j = i + 1;
+    if (isIdent(at(code_, j), "class") || isIdent(at(code_, j), "struct")) ++j;
+    if (at(code_, j) != nullptr && code_[j]->kind == TokKind::kIdentifier) {
+      entry_->declared.insert(code_[j]->text);
+      ++j;
+    }
+    while (j < code_.size() && !isPunct(code_[j], "{") &&
+           !isPunct(code_[j], ";"))
+      ++j;
+    if (!isPunct(at(code_, j), "{")) return j;
+    int depth = 0;
+    bool want_name = true;
+    for (; j < code_.size(); ++j) {
+      if (isPunct(code_[j], "{")) {
+        ++depth;
+        continue;
+      }
+      if (isPunct(code_[j], "}") && --depth == 0) return j;
+      if (isPunct(code_[j], ",")) {
+        want_name = true;
+        continue;
+      }
+      if (want_name && code_[j]->kind == TokKind::kIdentifier) {
+        entry_->declared.insert(code_[j]->text);
+        want_name = false;
+      }
+    }
+    return j;
+  }
+
+  // `class Name;` / `class Name final : public Base { ... }` — declares the
+  // name; a body opens a type scope.
+  std::size_t handleClass(std::size_t i) {
+    std::size_t j = i + 1;
+    // [[attributes]] between keyword and name.
+    while (isPunct(at(code_, j), "[")) {
+      int depth = 0;
+      for (; j < code_.size(); ++j) {
+        if (isPunct(code_[j], "[")) ++depth;
+        if (isPunct(code_[j], "]") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    std::string name;
+    if (at(code_, j) != nullptr && code_[j]->kind == TokKind::kIdentifier) {
+      name = code_[j]->text;
+      entry_->declared.insert(name);
+      ++j;
+    }
+    // Scan to '{' (definition), ';' (fwd decl) or '(' (elaborated type in a
+    // declarator — let the main walk handle what follows).
+    for (; j < code_.size(); ++j) {
+      if (isPunct(code_[j], "{")) {
+        scopes_.push_back(Scope{Scope::kType, name});
+        return j;
+      }
+      if (isPunct(code_[j], ";") || isPunct(code_[j], "(")) return j - 1;
+    }
+    return j;
+  }
+
+  // `using X = ...;`, `using a::b::c;`, `typedef ... X;`
+  std::size_t handleAlias(std::size_t i) {
+    std::size_t j = i + 1;
+    if (isIdent(at(code_, j), "namespace")) {
+      while (j < code_.size() && !isPunct(code_[j], ";")) ++j;
+      return j;
+    }
+    const Token* last_ident = nullptr;
+    for (; j < code_.size() && !isPunct(code_[j], ";"); ++j) {
+      if (code_[j]->kind == TokKind::kIdentifier) last_ident = code_[j];
+      if (isPunct(code_[j], "=")) {
+        // `using X = ...` — X is the declared name; the rest is spelling.
+        break;
+      }
+    }
+    if (last_ident != nullptr) entry_->declared.insert(last_ident->text);
+    while (j < code_.size() && !isPunct(code_[j], ";")) ++j;
+    return j;
+  }
+
+  // Candidate `name (` at declaration scope. Returns the index to resume
+  // from (the body's '}' / the ';'), or `p` unchanged when the shape turns
+  // out not to be a function declarator.
+  std::size_t handleFunction(std::size_t p) {
+    std::size_t chain_begin = p;
+    const std::string qualifier = qualifierChain(code_, p, chain_begin);
+    // `obj.f(...)` at what we think is decl scope is an expression (e.g. a
+    // macro-heavy region confused the scope tracker) — not a declarator.
+    if (chain_begin >= 1 && (isPunct(code_[chain_begin - 1], ".") ||
+                             isPunct(code_[chain_begin - 1], "->")))
+      return p;
+    std::string base = code_[p]->text;
+    if (chain_begin >= 1 && isPunct(code_[chain_begin - 1], "~"))
+      base = "~" + base;
+
+    std::size_t j = skipParens(code_, p + 1);
+    if (j >= code_.size()) return p;
+
+    // Declarator suffix: const/noexcept/override/final/&/&&/trailing
+    // return/attributes, until the decisive token.
+    bool is_definition = false;
+    bool decided = false;
+    for (; j < code_.size() && !decided; ++j) {
+      const Token* t = code_[j];
+      if (isPunct(t, "{")) {
+        is_definition = true;
+        decided = true;
+        break;
+      }
+      if (isPunct(t, ";")) {
+        decided = true;
+        break;
+      }
+      if (isPunct(t, "=")) {
+        // `= default` / `= delete` / `= 0` then ';'.
+        while (j < code_.size() && !isPunct(code_[j], ";")) ++j;
+        decided = true;
+        break;
+      }
+      if (isPunct(t, ":")) {
+        // Constructor init list: the body '{' follows a ')' or '}' at paren
+        // depth 0; a '{' after an identifier or '>' is brace-init.
+        int paren = 0;
+        const Token* prev = t;
+        for (++j; j < code_.size(); ++j) {
+          const Token* u = code_[j];
+          if (isPunct(u, "(")) ++paren;
+          if (isPunct(u, ")")) --paren;
+          if (isPunct(u, "{") && paren == 0) {
+            if (prev->kind == TokKind::kIdentifier || isPunct(prev, ">")) {
+              // brace-init: skip the balanced braces
+              int depth = 0;
+              for (; j < code_.size(); ++j) {
+                if (isPunct(code_[j], "{")) ++depth;
+                if (isPunct(code_[j], "}") && --depth == 0) break;
+              }
+              prev = code_[j];
+              continue;
+            }
+            is_definition = true;
+            break;
+          }
+          if (isPunct(u, ";")) break;  // member with weird ':' — bail
+          prev = u;
+        }
+        decided = true;
+        break;
+      }
+      if (t->kind == TokKind::kIdentifier || isPunct(t, "&") ||
+          isPunct(t, "&&") || isPunct(t, "*") || isPunct(t, "::") ||
+          isPunct(t, "->")) {
+        if (isIdent(t, "noexcept") && isPunct(at(code_, j + 1), "(")) {
+          j = skipParens(code_, j + 1) - 1;
+        }
+        continue;
+      }
+      if (isPunct(t, "<")) {
+        j = skipAngleRun(code_, j) - 1;
+        continue;
+      }
+      if (isPunct(t, "[")) {  // [[attribute]]
+        int depth = 0;
+        for (; j < code_.size(); ++j) {
+          if (isPunct(code_[j], "[")) ++depth;
+          if (isPunct(code_[j], "]") && --depth == 0) break;
+        }
+        continue;
+      }
+      return p;  // ',', ')', arithmetic... not a function declarator
+    }
+    if (!decided) return p;
+
+    FunctionInfo fn;
+    fn.base = base;
+    std::string qual = scopePrefix();
+    if (!qualifier.empty()) {
+      if (!qual.empty()) qual += "::";
+      qual += qualifier;
+    }
+    fn.qualified = qual.empty() ? base : qual + "::" + base;
+    fn.file = path_;
+    fn.module = module_;
+    fn.line = code_[p]->line;
+    fn.is_method = inTypeScope() || !qualifier.empty();
+    entry_->declared.insert(base);
+
+    if (is_definition) {
+      // j sits on the body '{': collect call sites to the matching '}'.
+      fn.body_begin = code_[j]->line;
+      int depth = 0;
+      for (; j < code_.size(); ++j) {
+        const Token* t = code_[j];
+        if (isPunct(t, "{")) {
+          ++depth;
+          continue;
+        }
+        if (isPunct(t, "}") && --depth == 0) break;
+        if (t->kind == TokKind::kIdentifier && !isReservedName(t->text) &&
+            isPunct(at(code_, j + 1), "(")) {
+          std::size_t cb = j;
+          CallSite call;
+          call.name = t->text;
+          call.qualifier = qualifierChain(code_, j, cb);
+          call.line = t->line;
+          call.member = cb >= 1 && (isPunct(code_[cb - 1], ".") ||
+                                    isPunct(code_[cb - 1], "->"));
+          fn.calls.push_back(std::move(call));
+        }
+      }
+      fn.body_end = j < code_.size() ? code_[j]->line : fn.body_begin;
+      const std::size_t resume = j;
+      entry_->functions.push_back(static_cast<int>(index_.functions.size()));
+      index_.functions.push_back(std::move(fn));
+      return resume;
+    }
+
+    entry_->functions.push_back(static_cast<int>(index_.functions.size()));
+    index_.functions.push_back(std::move(fn));
+    return j;
+  }
+
+  std::string path_;
+  std::string module_;
+  SymbolIndex& index_;
+  FileEntry* entry_ = nullptr;
+  Code code_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+std::vector<AllowSite> collectAllowSites(const std::vector<Token>& toks) {
+  static constexpr std::string_view kMarker = "sclint:allow(";
+  std::vector<AllowSite> allows;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) continue;
+    for (std::size_t pos = t.text.find(kMarker); pos != std::string::npos;
+         pos = t.text.find(kMarker, pos + 1)) {
+      const std::size_t open = pos + kMarker.size();
+      const std::size_t close = t.text.find(')', open);
+      if (close == std::string::npos) continue;
+      AllowSite a;
+      a.rule = std::string(
+          trimWhitespace(std::string_view(t.text).substr(open, close - open)));
+      std::string_view rest = std::string_view(t.text).substr(close + 1);
+      if (t.text.compare(0, 2, "/*") == 0 && rest.size() >= 2 &&
+          rest.substr(rest.size() - 2) == "*/")
+        rest = rest.substr(0, rest.size() - 2);
+      a.reason = std::string(trimWhitespace(rest));
+      a.line = t.line;
+      allows.push_back(std::move(a));
+    }
+  }
+  return allows;
+}
+
+int SymbolIndex::functionAt(const std::string& file, int line) const {
+  const FileEntry* entry = fileOf(file);
+  if (entry == nullptr) return -1;
+  for (const int id : entry->functions) {
+    const FunctionInfo& fn = functions[static_cast<std::size_t>(id)];
+    if (fn.body_begin != 0 && fn.body_begin <= line && line <= fn.body_end)
+      return id;
+  }
+  return -1;
+}
+
+void indexSource(const std::string& path, std::string_view content,
+                 const LayerGraph* layers, SymbolIndex& index) {
+  const std::vector<Token> toks = lex(content);
+  FileParser parser(path, layers, index);
+  parser.run(toks);
+}
+
+void finalizeIndex(SymbolIndex& index) {
+  index.by_base.clear();
+  for (std::size_t i = 0; i < index.functions.size(); ++i)
+    index.by_base[index.functions[i].base].push_back(static_cast<int>(i));
+  for (auto& [path, entry] : index.files) {
+    (void)path;
+    std::sort(entry.functions.begin(), entry.functions.end(),
+              [&](int a, int b) {
+                return index.functions[static_cast<std::size_t>(a)].line <
+                       index.functions[static_cast<std::size_t>(b)].line;
+              });
+  }
+}
+
+std::string srcRelative(const std::string& path) {
+  std::size_t best = std::string::npos;
+  for (std::size_t p = path.find("src/"); p != std::string::npos;
+       p = path.find("src/", p + 1)) {
+    if (p == 0 || path[p - 1] == '/') best = p;
+  }
+  if (best == std::string::npos) return "";
+  return path.substr(best + 4);
+}
+
+}  // namespace sc::lint

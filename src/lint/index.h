@@ -1,0 +1,119 @@
+// Cross-TU symbol index: the whole-program tier of sclint.
+//
+// PR 4's rules see one file at a time, which is blind to the bug class that
+// actually bit this tree — a sim-layer function that *transitively* calls a
+// wall-clock or hash-order helper two modules away. The index is the shared
+// substrate for the v2 passes (call graph + determinism taint, iwyu-lite,
+// include cycles, symbol-level layer checks): a declaration-level parse of
+// every file into
+//
+//   * functions/methods with scope-qualified names ("sc::gfw::Gfw::poll"),
+//     definition body ranges and the call sites inside each body,
+//   * per-file declared names (types, functions, aliases, enumerators,
+//     namespace-scope constants, macros) and used identifiers,
+//   * the quoted project includes and the sclint:allow annotations.
+//
+// Deliberately NOT a C++ parser — same pragmatic tier as the lexer. Scope
+// tracking is brace-depth bookkeeping over namespaces and class bodies;
+// function detection is a declarator-shaped token pattern. Known
+// false-negative tiers (documented in DESIGN.md §13): overloaded operators,
+// functions produced by macros, and calls through function pointers or
+// std::function values are invisible. Overload *sets* are kept: two
+// functions may share a qualified name, and call resolution fans out to all
+// of them (an over-approximation, which is the safe direction for taint).
+//
+// indexSource() is pure (path + content in, entries out) so tests feed
+// synthetic fixture files; the driver owns file reading.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/layers.h"
+#include "lint/lexer.h"
+
+namespace sc::lint {
+
+// One call site inside a function body. `qualifier` is the "::"-joined
+// explicit qualification as written ("std::this_thread", "Gfw"), empty for
+// bare and member calls; `member` marks `obj.f()` / `p->f()`.
+struct CallSite {
+  std::string name;
+  std::string qualifier;
+  int line = 0;
+  bool member = false;
+};
+
+struct FunctionInfo {
+  std::string qualified;  // "sc::fleet::ShardedLruCache::shardOf"
+  std::string base;       // "shardOf"
+  std::string file;
+  std::string module;     // moduleOf(file, layers); "" outside src/
+  int line = 0;           // line of the function name token
+  int body_begin = 0;     // 0 for declaration-only entries (incl. pure virtuals)
+  int body_end = 0;
+  bool is_method = false;  // declared inside a class/struct scope or via C::
+  std::vector<CallSite> calls;  // definitions only; body order
+};
+
+// A sclint:allow annotation, re-collected here so whole-program passes can
+// apply the same line / line-above waiver policy the per-file pass uses.
+struct AllowSite {
+  std::string rule;
+  std::string reason;
+  int line = 0;
+};
+
+struct IncludeSite {
+  std::string path;  // as written between the quotes: "gfw/dpi/scanner.h"
+  int line = 0;
+};
+
+struct FileEntry {
+  std::string file;
+  std::string module;                 // "" outside src/
+  std::vector<IncludeSite> includes;  // quoted includes only (project tier)
+  std::vector<int> functions;         // indices into SymbolIndex::functions
+  std::set<std::string> declared;     // names this file declares (see header)
+  std::set<std::string> used;         // every code identifier in the file
+  std::vector<AllowSite> allows;
+};
+
+struct SymbolIndex {
+  std::vector<FunctionInfo> functions;
+  std::map<std::string, FileEntry> files;  // keyed by path as given
+  // base name -> indices into functions (built by finalizeIndex).
+  std::map<std::string, std::vector<int>> by_base;
+
+  const FileEntry* fileOf(const std::string& path) const {
+    const auto it = files.find(path);
+    return it == files.end() ? nullptr : &it->second;
+  }
+  // The function whose body spans `line` in `file`; innermost nothing —
+  // bodies never nest (lambdas belong to their enclosing function) so the
+  // first hit wins. Returns -1 when the line is outside every body.
+  int functionAt(const std::string& file, int line) const;
+};
+
+// Parses one file's entries into the index. `layers` (optional) resolves
+// nested submodules exactly like the per-file layering rule.
+void indexSource(const std::string& path, std::string_view content,
+                 const LayerGraph* layers, SymbolIndex& index);
+
+// Every sclint:allow annotation in a token stream (the one marker parser,
+// shared with the per-file suppression pass in linter.cpp).
+std::vector<AllowSite> collectAllowSites(const std::vector<Token>& toks);
+
+// Builds by_base and sorts each FileEntry's function list by line. Call
+// once after the last indexSource().
+void finalizeIndex(SymbolIndex& index);
+
+// The src-relative spelling of an indexed path ("/x/src/gfw/gfw.h" ->
+// "gfw/gfw.h"), empty for files not under a src/ directory. This is the
+// key that resolves `#include "gfw/gfw.h"` to an indexed file.
+std::string srcRelative(const std::string& path);
+
+}  // namespace sc::lint

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
+#include <utility>
 
-#include "util/strings.h"
+#include "lint/index.h"
 
 namespace sc::lint {
 
 namespace {
 
+// An allow-annotation (parsed by collectAllowSites in index.cpp — malformed
+// annotations with no closing paren are dropped there; they suppress
+// nothing, so the finding they meant to cover still fails the build, which
+// is the safe direction) plus the per-file pass's used flag.
 struct Allow {
   std::string rule;
   std::string reason;
@@ -16,34 +22,11 @@ struct Allow {
   bool used = false;
 };
 
-// Parses every allow-annotation (kMarker, then the rule id up to the
-// closing paren, then the reason) out of the
-// comment tokens. Malformed annotations (no closing paren) are ignored —
-// they suppress nothing, so the finding they meant to cover still fails the
-// build, which is the safe direction.
 std::vector<Allow> collectAllows(const std::vector<Token>& toks) {
-  static constexpr std::string_view kMarker = "sclint:allow(";
   std::vector<Allow> allows;
-  for (const Token& t : toks) {
-    if (t.kind != TokKind::kComment) continue;
-    for (std::size_t pos = t.text.find(kMarker); pos != std::string::npos;
-         pos = t.text.find(kMarker, pos + 1)) {
-      const std::size_t open = pos + kMarker.size();
-      const std::size_t close = t.text.find(')', open);
-      if (close == std::string::npos) continue;
-      Allow a;
-      a.rule = std::string(trimWhitespace(
-          std::string_view(t.text).substr(open, close - open)));
-      std::string_view rest = std::string_view(t.text).substr(close + 1);
-      // A block comment's trailing */ is delimiter, not justification.
-      if (t.text.compare(0, 2, "/*") == 0 && rest.size() >= 2 &&
-          rest.substr(rest.size() - 2) == "*/")
-        rest = rest.substr(0, rest.size() - 2);
-      a.reason = std::string(trimWhitespace(rest));
-      a.line = t.line;
-      allows.push_back(std::move(a));
-    }
-  }
+  for (AllowSite& site : collectAllowSites(toks))
+    allows.push_back(Allow{std::move(site.rule), std::move(site.reason),
+                           site.line, false});
   return allows;
 }
 
@@ -133,6 +116,55 @@ FileReport lintSource(const std::string& path, std::string_view content,
   return report;
 }
 
+void applyTreeFindings(
+    std::vector<Finding> findings,
+    const std::map<std::string, std::vector<AllowSite>>& allows,
+    std::vector<FileReport>& reports) {
+  std::map<std::string, std::size_t> report_of;
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    report_of.emplace(reports[i].file, i);
+
+  // An allow consumed here that the per-file pass booked as unused (it
+  // matched no token finding) is reconciled exactly once.
+  std::set<std::pair<std::string, int>> reconciled;
+
+  for (Finding& f : findings) {
+    const auto allow_it = allows.find(f.file);
+    if (allow_it != allows.end()) {
+      for (const AllowSite& a : allow_it->second) {
+        if (a.rule != f.rule) continue;
+        if (f.line != a.line && f.line != a.line + 1) continue;
+        f.suppressed = true;
+        f.reason = a.reason;
+        const auto rep = report_of.find(f.file);
+        if (rep != report_of.end()) {
+          FileReport& r = reports[rep->second];
+          if (r.suppressions_unused > 0 &&
+              reconciled.insert({f.file, a.line}).second)
+            --r.suppressions_unused;
+        }
+        break;
+      }
+    }
+    const auto rep = report_of.find(f.file);
+    if (rep != report_of.end()) {
+      reports[rep->second].findings.push_back(std::move(f));
+    } else {
+      FileReport fresh;
+      fresh.file = f.file;
+      fresh.findings.push_back(std::move(f));
+      report_of.emplace(fresh.file, reports.size());
+      reports.push_back(std::move(fresh));
+    }
+  }
+  for (FileReport& r : reports) {
+    std::stable_sort(r.findings.begin(), r.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
+  }
+}
+
 Totals totalsOf(const std::vector<FileReport>& reports) {
   Totals t;
   t.files = static_cast<int>(reports.size());
@@ -156,6 +188,7 @@ std::string renderText(const std::vector<FileReport>& reports) {
       if (f.suppressed) continue;
       out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
              f.message + "\n";
+      for (const std::string& hop : f.chain) out += "    " + hop + "\n";
     }
   }
   const Totals t = totalsOf(reports);
@@ -190,6 +223,14 @@ std::string renderJson(const std::vector<FileReport>& reports) {
              jsonEscape(f.message) + "\"";
       if (f.suppressed)
         out += ", \"reason\": \"" + jsonEscape(f.reason) + "\"";
+      if (!f.chain.empty()) {
+        out += ", \"chain\": [";
+        for (std::size_t i = 0; i < f.chain.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "\"" + jsonEscape(f.chain[i]) + "\"";
+        }
+        out += "]";
+      }
       out += "}";
     }
   }

@@ -14,6 +14,7 @@
 // directory walking and companion-header lookup.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,10 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string reason;  // the allow's justification when suppressed
+  // Whole-program findings (det-taint-reach, include-cycle) carry their
+  // evidence path — call chain down to the source, or the include loop —
+  // one human-readable hop per entry. Empty for token-level findings.
+  std::vector<std::string> chain;
 };
 
 struct FileReport {
@@ -60,6 +65,19 @@ struct Totals {
 };
 
 Totals totalsOf(const std::vector<FileReport>& reports);
+
+// Merges whole-program findings (taint, include graph, call layering) into
+// the per-file reports: each finding is matched against the allow
+// annotations of its file (same line / line-above policy as lintSource),
+// inserted in line order, and any allow it consumes is reconciled against
+// the per-file pass's unused-suppression count — an allow that exists only
+// for a tree-level rule is *used*, not dangling. `allows` comes from the
+// symbol index (FileEntry::allows). Findings for files with no existing
+// report get a fresh one appended.
+struct AllowSite;  // lint/index.h
+void applyTreeFindings(std::vector<Finding> findings,
+                       const std::map<std::string, std::vector<AllowSite>>& allows,
+                       std::vector<FileReport>& reports);
 
 // Human text: one `file:line: [rule] message` per unsuppressed finding plus
 // a summary line. JSON: the full structured dump, suppressed findings and

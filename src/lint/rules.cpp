@@ -151,15 +151,29 @@ const std::vector<Rule>& ruleTable() {
       {"det-pointer-format", "determinism",
        // sclint:allow(det-pointer-format) the rule's own description names the conversion it bans
        "%p in a format string; pointer values differ across runs"},
+      {"det-taint-reach", "determinism",
+       "function on a sim-driven layer transitively reaches a "
+       "nondeterminism source (call chain printed; whole-program pass)"},
       {"layer-violation", "layering",
        "include edge not permitted by the module DAG in lint/layers.conf"},
       {"layer-unknown-module", "layering",
        "include of a module not declared in lint/layers.conf"},
+      {"layer-call-violation", "layering",
+       "resolved call crosses the module DAG without an include — forward "
+       "declarations are not a licence (whole-program pass)"},
+      {"iwyu-lite", "includes",
+       "include whose target declares nothing this file uses, directly or "
+       "transitively (whole-program pass)"},
+      {"include-cycle", "includes",
+       "#include loop among project headers (whole-program pass)"},
       {"hyg-assert-side-effect", "hygiene",
        "assert() argument contains ++/--/=; the side effect vanishes under "
        "NDEBUG"},
       {"hyg-using-namespace-header", "hygiene",
        "using namespace at header scope leaks into every includer"},
+      {"hyg-fnv-magic", "hygiene",
+       "FNV-1a constants spelled outside util/hash; use sc::Fnv1a so the "
+       "tree keeps exactly one hash"},
       {"allow-missing-reason", "meta",
        "sclint:allow() without a reason string; every suppression must say "
        "why"},
@@ -356,13 +370,41 @@ void checkLayering(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+namespace {
+
+// The four spellings of the 64-bit FNV-1a constants (offset basis and
+// prime, hex and decimal), lowercased with digit separators stripped.
+bool isFnvConstant(const std::string& raw) {
+  std::string norm;
+  norm.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\'') continue;
+    norm += asciiLower(c);
+  }
+  while (!norm.empty() && (norm.back() == 'u' || norm.back() == 'l'))
+    norm.pop_back();
+  return norm == "0xcbf29ce484222325" || norm == "14695981039346656037" ||
+         norm == "0x100000001b3" || norm == "1099511628211";
+}
+
+}  // namespace
+
 void checkHygiene(const std::string& path, const std::vector<Token>& toks,
                   std::vector<RawFinding>& out) {
   const bool is_header = endsWith(path, ".h") || endsWith(path, ".hpp") ||
                          endsWith(path, ".hh");
+  // util/hash is the constants' one legitimate home.
+  const bool is_hash_home = path.find("util/hash.") != std::string::npos;
   const auto code = codeView(toks);
   for (std::size_t i = 0; i < code.size(); ++i) {
     const Token* t = code[i];
+    if (t->kind == TokKind::kNumber && !is_hash_home &&
+        isFnvConstant(t->text)) {
+      add(out, "hyg-fnv-magic", t->line,
+          "FNV-1a constant duplicated outside util/hash; hash through "
+          "sc::Fnv1a instead of forking the function");
+      continue;
+    }
     if (is_header && isIdent(t, "using") &&
         isIdent(at(code, i + 1), "namespace")) {
       add(out, "hyg-using-namespace-header", t->line,

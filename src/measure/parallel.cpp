@@ -11,6 +11,7 @@
 
 namespace sc::measure {
 
+// sclint:allow(det-taint-reach) worker count sizes the pool only; items are merged in deterministic index order and the parallel-vs-serial digest tests assert byte-identical results at every thread count
 ParallelRunner::ParallelRunner(unsigned threads) : threads_(threads) {
   if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
   if (threads_ == 0) threads_ = 1;  // hardware_concurrency may report 0

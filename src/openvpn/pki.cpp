@@ -3,7 +3,6 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "util/base64.h"
-#include "util/strings.h"
 
 namespace sc::openvpn {
 

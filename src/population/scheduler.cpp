@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "http/message.h"
+#include "util/hash.h"
 
 namespace sc::population {
 
@@ -17,41 +18,27 @@ net::Ipv4 backgroundClient(std::uint64_t user_id) {
   return net::Ipv4(0x0A038000u | static_cast<std::uint32_t>(user_id & 0x7FFF));
 }
 
-void fnv1a(std::uint64_t& h, std::uint64_t v) noexcept {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001B3ULL;
-  }
-}
-
-void fnv1a(std::uint64_t& h, double v) noexcept {
-  std::uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  __builtin_memcpy(&bits, &v, sizeof(bits));
-  fnv1a(h, bits);
-}
-
 }  // namespace
 
 std::uint64_t SchedulerStats::digest() const noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  fnv1a(h, ticks);
-  fnv1a(h, arrivals);
-  fnv1a(h, blocked);
-  fnv1a(h, border_crossings);
-  fnv1a(h, fleet_leases);
-  fnv1a(h, lease_denied);
+  Fnv1a h;
+  h.add(ticks);
+  h.add(arrivals);
+  h.add(blocked);
+  h.add(border_crossings);
+  h.add(fleet_leases);
+  h.add(lease_denied);
   for (const auto& m : by_method) {
-    fnv1a(h, m.accesses);
-    fnv1a(h, m.ok);
-    fnv1a(h, m.first_visits);
-    fnv1a(h, m.cache_hits);
-    fnv1a(h, m.plt_sum_s);
-    fnv1a(h, m.rtt_sum_ms);
-    fnv1a(h, m.plr_sum_pct);
-    fnv1a(h, m.bytes_sum);
+    h.add(m.accesses);
+    h.add(m.ok);
+    h.add(m.first_visits);
+    h.add(m.cache_hits);
+    h.add(m.plt_sum_s);
+    h.add(m.rtt_sum_ms);
+    h.add(m.plr_sum_pct);
+    h.add(m.bytes_sum);
   }
-  return h;
+  return h.value();
 }
 
 HybridScheduler::HybridScheduler(sim::Simulator& sim, PopulationModel model,

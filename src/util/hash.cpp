@@ -1,0 +1,11 @@
+#include "util/hash.h"
+
+namespace sc {
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  Fnv1a h;
+  h.add(bytes);
+  return h.value();
+}
+
+}  // namespace sc

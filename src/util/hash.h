@@ -1,0 +1,65 @@
+// The tree's one FNV-1a.
+//
+// Three copies of this function grew independently (fleet cache sharding,
+// population stats digests, bench verdict-stream digests) before sclint's
+// `hyg-fnv-magic` rule pinned the constants to this file. The requirements
+// they share: a hash that is *fixed across platforms* (std::hash differs
+// between libstdc++ and libc++, and shard assignment / digest equality must
+// be byte-identical everywhere) and *order-sensitive* (digests attest to a
+// deterministic event order, so a reordering must change the value).
+//
+// Streaming form: feed fields in a fixed documented order; integers are
+// mixed little-endian byte-by-byte, doubles by bit pattern (two doubles
+// digest equal iff they are bit-identical — exactly the guarantee the
+// parallel-vs-serial checks assert; note -0.0 and 0.0 therefore differ).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sc {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+class Fnv1a {
+ public:
+  constexpr Fnv1a() = default;
+  // Resume from a previously taken value() — streaming digests that thread
+  // a bare uint64 through helpers keep working unchanged.
+  constexpr explicit Fnv1a(std::uint64_t state) : h_(state) {}
+
+  constexpr void addByte(std::uint8_t b) noexcept {
+    h_ = (h_ ^ b) * kFnv1aPrime;
+  }
+  void add(std::string_view bytes) noexcept {
+    for (const char c : bytes) addByte(static_cast<std::uint8_t>(c));
+  }
+  constexpr void add(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) addByte((v >> (8 * i)) & 0xFF);
+  }
+  constexpr void add(std::uint32_t v) noexcept {
+    for (int i = 0; i < 4; ++i) addByte((v >> (8 * i)) & 0xFF);
+  }
+  constexpr void add(std::uint16_t v) noexcept {
+    addByte(v & 0xFF);
+    addByte(v >> 8);
+  }
+  void add(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+
+  constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffset;
+};
+
+// One-shot over a byte string (the fleet cache's shard assignment).
+std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+}  // namespace sc

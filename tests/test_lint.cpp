@@ -11,6 +11,9 @@
 
 #include <algorithm>
 
+#include "lint/callgraph.h"
+#include "lint/includes.h"
+#include "lint/index.h"
 #include "lint/layers.h"
 #include "lint/lexer.h"
 #include "lint/linter.h"
@@ -418,8 +421,450 @@ TEST(LintRules, TableIsStableAndQueryable) {
   EXPECT_TRUE(isKnownRule("det-wallclock"));
   EXPECT_TRUE(isKnownRule("layer-violation"));
   EXPECT_TRUE(isKnownRule("hyg-using-namespace-header"));
+  EXPECT_TRUE(isKnownRule("det-taint-reach"));
+  EXPECT_TRUE(isKnownRule("iwyu-lite"));
+  EXPECT_TRUE(isKnownRule("include-cycle"));
+  EXPECT_TRUE(isKnownRule("layer-call-violation"));
+  EXPECT_TRUE(isKnownRule("hyg-fnv-magic"));
   EXPECT_FALSE(isKnownRule("det-nope"));
-  EXPECT_GE(ruleTable().size(), 11u);
+  EXPECT_GE(ruleTable().size(), 16u);
+}
+
+// ------------------------------------------- whole-program fixture harness
+
+// A miniature layers.conf mirroring the real tree's shape: gfw and measure
+// are sim-driven (they reach sim), util is below sim and is not.
+constexpr std::string_view kTreeLayers =
+    "util:\n"
+    "sim: util\n"
+    "obs: sim\n"
+    "gfw: sim obs\n"
+    "measure: gfw\n";
+
+struct Tree {
+  LayerGraph layers;
+  SymbolIndex index;
+  CallGraph graph;
+  std::vector<FileReport> reports;
+};
+
+// Index + per-file lint over synthetic (path, content) fixtures, exactly the
+// sequence the sclint driver runs.
+Tree indexTree(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  Tree t;
+  t.layers = parseLayersConf(kTreeLayers);
+  EXPECT_TRUE(t.layers.ok());
+  LintOptions options;
+  options.layers = &t.layers;
+  for (const auto& [path, src] : files) {
+    indexSource(path, src, &t.layers, t.index);
+    t.reports.push_back(lintSource(path, src, {}, options));
+  }
+  finalizeIndex(t.index);
+  t.graph = buildCallGraph(t.index, &t.layers);
+  return t;
+}
+
+const FunctionInfo* fnOf(const SymbolIndex& index, const std::string& name,
+                         bool defined = true) {
+  for (const FunctionInfo& fn : index.functions)
+    if (fn.qualified == name && (!defined || fn.body_begin > 0)) return &fn;
+  return nullptr;
+}
+
+// Every resolved callee of every entry (declaration or definition) sharing
+// the caller's qualified name, sorted.
+std::vector<std::string> calleesOf(const Tree& t, const std::string& caller) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < t.index.functions.size(); ++i) {
+    if (t.index.functions[i].qualified != caller) continue;
+    for (const Edge& e : t.graph.edges[i])
+      out.push_back(
+          t.index.functions[static_cast<std::size_t>(e.callee)].qualified);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int countOf(const std::vector<std::string>& v, const std::string& s) {
+  return static_cast<int>(std::count(v.begin(), v.end(), s));
+}
+
+// Whole-tree taint run: token reports anchor, conf sources anchor, findings
+// reconciled against the files' own allow annotations — the driver sequence.
+void runTaint(Tree& t, std::string_view conf_text = "std::getenv: env read") {
+  const TaintConfig conf = parseTaintConf(conf_text);
+  EXPECT_TRUE(conf.ok());
+  std::vector<Finding> tree =
+      taintPass(t.index, t.graph, conf, t.layers, t.reports);
+  for (Finding& f : checkCallLayering(t.index, t.graph, t.layers))
+    tree.push_back(std::move(f));
+  std::map<std::string, std::vector<AllowSite>> allows;
+  for (const auto& [path, entry] : t.index.files) allows[path] = entry.allows;
+  applyTreeFindings(std::move(tree), allows, t.reports);
+}
+
+const FileReport& reportOf(const Tree& t, const std::string& file) {
+  for (const FileReport& r : t.reports)
+    if (r.file == file) return r;
+  static const FileReport kEmpty;
+  return kEmpty;
+}
+
+// ------------------------------------------------------------ symbol index
+
+TEST(LintIndex, QualifiedNamesMethodsAndBodies) {
+  Tree t = indexTree({{"src/gfw/gfw.h",
+                       "namespace sc::gfw {\n"
+                       "class Gfw {\n"
+                       " public:\n"
+                       "  int poll();\n"
+                       "  int ready() { return 1; }\n"
+                       "};\n"
+                       "int freeFn();\n"
+                       "}\n"}});
+  const FunctionInfo* poll = fnOf(t.index, "sc::gfw::Gfw::poll", false);
+  ASSERT_NE(poll, nullptr);
+  EXPECT_TRUE(poll->is_method);
+  EXPECT_EQ(poll->body_begin, 0);  // declaration only
+  const FunctionInfo* ready = fnOf(t.index, "sc::gfw::Gfw::ready");
+  ASSERT_NE(ready, nullptr);
+  EXPECT_TRUE(ready->is_method);
+  EXPECT_EQ(ready->module, "gfw");
+  const FunctionInfo* free_fn = fnOf(t.index, "sc::gfw::freeFn", false);
+  ASSERT_NE(free_fn, nullptr);
+  EXPECT_FALSE(free_fn->is_method);
+  const FileEntry* entry = t.index.fileOf("src/gfw/gfw.h");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->declared.count("Gfw"), 1u);
+}
+
+TEST(LintIndex, OutOfLineMethodDefinitionAndFunctionAt) {
+  Tree t = indexTree({{"src/gfw/gfw.cpp",
+                       "namespace sc::gfw {\n"
+                       "int Gfw::poll() {\n"
+                       "  return helper();\n"
+                       "}\n"
+                       "}\n"}});
+  const FunctionInfo* poll = fnOf(t.index, "sc::gfw::Gfw::poll");
+  ASSERT_NE(poll, nullptr);
+  EXPECT_TRUE(poll->is_method);  // the C:: spelling marks it
+  ASSERT_EQ(poll->calls.size(), 1u);
+  EXPECT_EQ(poll->calls[0].name, "helper");
+  EXPECT_FALSE(poll->calls[0].member);
+  EXPECT_EQ(t.index.functionAt("src/gfw/gfw.cpp", 3),
+            t.index.functionAt("src/gfw/gfw.cpp", 2));
+  EXPECT_EQ(t.index.functionAt("src/gfw/gfw.cpp", 5), -1);
+}
+
+TEST(LintIndex, CallSitesKeepQualifierAndMemberShape) {
+  Tree t = indexTree({{"src/gfw/x.cpp",
+                       "namespace sc::gfw {\n"
+                       "void drive(Conn& c) {\n"
+                       "  c.transmit();\n"
+                       "  dns::resolveName(c);\n"
+                       "  localStep();\n"
+                       "}\n"
+                       "}\n"}});
+  const FunctionInfo* drive = fnOf(t.index, "sc::gfw::drive");
+  ASSERT_NE(drive, nullptr);
+  ASSERT_EQ(drive->calls.size(), 3u);
+  EXPECT_TRUE(drive->calls[0].member);
+  EXPECT_EQ(drive->calls[1].qualifier, "dns");
+  EXPECT_EQ(drive->calls[1].name, "resolveName");
+  EXPECT_EQ(drive->calls[2].qualifier, "");
+}
+
+// -------------------------------------------------------------- call graph
+
+TEST(LintCallGraph, ResolvesAcrossCompanionHeader) {
+  Tree t = indexTree({{"src/gfw/util.h",
+                       "namespace sc::gfw {\n"
+                       "int helper();\n"
+                       "}\n"},
+                      {"src/gfw/util.cpp",
+                       "namespace sc::gfw {\n"
+                       "int helper() { return 7; }\n"
+                       "}\n"},
+                      {"src/gfw/gfw.cpp",
+                       "namespace sc::gfw {\n"
+                       "int Gfw::poll() { return helper(); }\n"
+                       "}\n"}});
+  EXPECT_GE(countOf(calleesOf(t, "sc::gfw::Gfw::poll"), "sc::gfw::helper"), 1);
+  const std::string dump = renderCallGraph(t.index, t.graph);
+  EXPECT_NE(dump.find("sc::gfw::Gfw::poll -> sc::gfw::helper"),
+            std::string::npos);
+}
+
+TEST(LintCallGraph, OverloadSetsFanOut) {
+  Tree t = indexTree({{"src/gfw/f.cpp",
+                       "namespace sc::gfw {\n"
+                       "int f(int v) { return v; }\n"
+                       "int f(double v) { return 1; }\n"
+                       "int caller() { return f(2); }\n"
+                       "}\n"}});
+  EXPECT_EQ(countOf(calleesOf(t, "sc::gfw::caller"), "sc::gfw::f"), 2);
+}
+
+TEST(LintCallGraph, UbiquitousMemberNamesStayUnresolved) {
+  Tree t = indexTree({{"src/obs/tracer.h",
+                       "namespace sc::obs {\n"
+                       "class Tracer {\n"
+                       " public:\n"
+                       "  void begin() {}\n"
+                       "  void flush() {}\n"
+                       "};\n"
+                       "}\n"},
+                      {"src/gfw/user.cpp",
+                       "namespace sc::gfw {\n"
+                       "void user(obs::Tracer& t) {\n"
+                       "  t.begin();\n"
+                       "  t.flush();\n"
+                       "}\n"
+                       "}\n"}});
+  const auto callees = calleesOf(t, "sc::gfw::user");
+  // `.begin()` is std-container vocabulary — resolving it would hang a
+  // Tracer edge on every range-for in the tree. `.flush()` is distinctive.
+  EXPECT_EQ(countOf(callees, "sc::obs::Tracer::begin"), 0);
+  EXPECT_EQ(countOf(callees, "sc::obs::Tracer::flush"), 1);
+}
+
+TEST(LintCallGraph, BareCallsResolveCtorsButNotForeignMethods) {
+  Tree t = indexTree({{"src/gfw/runner.cpp",
+                       "namespace sc::gfw {\n"
+                       "class Runner {\n"
+                       " public:\n"
+                       "  Runner(int n) {}\n"
+                       "  void go() {}\n"
+                       "};\n"
+                       "int use() { Runner(3).go(); return 0; }\n"
+                       "}\n"},
+                      {"src/obs/w.h",
+                       "namespace sc::obs {\n"
+                       "class Widget {\n"
+                       " public:\n"
+                       "  int fetch(int v) { return v; }\n"
+                       "};\n"
+                       "}\n"},
+                      {"src/gfw/l.cpp",
+                       "namespace sc::gfw {\n"
+                       "int use2() {\n"
+                       "  const auto fetch = [](int v) { return v; };\n"
+                       "  return fetch(1);\n"
+                       "}\n"
+                       "}\n"}});
+  // `Runner(3)` is a ctor invocation; it must produce an edge.
+  EXPECT_EQ(countOf(calleesOf(t, "sc::gfw::use"), "sc::gfw::Runner::Runner"),
+            1);
+  // The local lambda `fetch` must not resolve into obs::Widget::fetch.
+  EXPECT_EQ(countOf(calleesOf(t, "sc::gfw::use2"), "sc::obs::Widget::fetch"),
+            0);
+}
+
+// ---------------------------------------------------- determinism taint
+
+// The seeded fixture bug from the issue: a sim-driven function two modules
+// up from a getenv call, with the full chain in the finding.
+TEST(LintTaint, ConfSourceChainReachesSimDrivenCallers) {
+  Tree t = indexTree({{"src/util/env.cpp",
+                       "namespace sc {\n"
+                       "const char* leafRead() { return std::getenv(\"X\"); }\n"
+                       "}\n"},
+                      {"src/gfw/mid.cpp",
+                       "namespace sc::gfw {\n"
+                       "int mid() { leafRead(); return 1; }\n"
+                       "}\n"},
+                      {"src/measure/top.cpp",
+                       "namespace sc::measure {\n"
+                       "int top() { return gfw::mid(); }\n"
+                       "}\n"}});
+  runTaint(t);
+  // util is below sim: the leaf itself is not reported.
+  EXPECT_EQ(countRule(reportOf(t, "src/util/env.cpp"), "det-taint-reach"), 0);
+  EXPECT_EQ(countRule(reportOf(t, "src/gfw/mid.cpp"), "det-taint-reach"), 1);
+  const FileReport& top = reportOf(t, "src/measure/top.cpp");
+  ASSERT_EQ(countRule(top, "det-taint-reach"), 1);
+  const Finding& f = top.findings.front();
+  ASSERT_EQ(f.chain.size(), 4u);  // top -> mid -> leaf -> source
+  EXPECT_NE(f.chain[0].find("sc::measure::top"), std::string::npos);
+  EXPECT_NE(f.chain[1].find("sc::gfw::mid"), std::string::npos);
+  EXPECT_NE(f.chain[2].find("sc::leafRead"), std::string::npos);
+  EXPECT_NE(f.chain[3].find("std::getenv"), std::string::npos);
+  EXPECT_NE(f.chain[3].find("src/util/env.cpp:2"), std::string::npos);
+  // The chain survives rendering in both formats.
+  const std::string text = renderText({top});
+  EXPECT_NE(text.find("std::getenv"), std::string::npos);
+  const std::string json = renderJson({top});
+  EXPECT_NE(json.find("\"chain\": ["), std::string::npos);
+}
+
+TEST(LintTaint, UnsuppressedTokenFindingAnchorsWaivedOneDoesNot) {
+  Tree dirty = indexTree({{"src/gfw/r.cpp",
+                           "namespace sc::gfw {\n"
+                           "int jitter() { return rand(); }\n"
+                           "}\n"}});
+  runTaint(dirty, "");
+  EXPECT_EQ(countRule(reportOf(dirty, "src/gfw/r.cpp"), "det-taint-reach"), 1);
+
+  Tree waived = indexTree(
+      {{"src/gfw/r.cpp", "namespace sc::gfw {\nint jitter() { return rand(); }  " +
+                             allow("det-rand", "fixture-only") + "\n}\n"}});
+  runTaint(waived, "");
+  // The waived token site was argued sim-safe; it must not seed taint.
+  EXPECT_EQ(countRule(reportOf(waived, "src/gfw/r.cpp"), "det-taint-reach"),
+            0);
+}
+
+TEST(LintTaint, WaiverSuppressesAndCutsPropagationWithAccounting) {
+  Tree t = indexTree({{"src/util/env.cpp",
+                       "namespace sc {\n"
+                       "const char* leafRead() { return std::getenv(\"X\"); }\n"
+                       "}\n"},
+                      {"src/gfw/mid.cpp",
+                       "namespace sc::gfw {\n" + allow("det-taint-reach",
+                                                      "bounded to this fn") +
+                           "\nint mid() { leafRead(); return 1; }\n"
+                           "}\n"},
+                      {"src/measure/top.cpp",
+                       "namespace sc::measure {\n"
+                       "int top() { return gfw::mid(); }\n"
+                       "}\n"}});
+  runTaint(t);
+  const FileReport& mid = reportOf(t, "src/gfw/mid.cpp");
+  // mid's own finding exists but is matched to the waiver…
+  EXPECT_EQ(countRule(mid, "det-taint-reach", /*suppressed=*/true), 1);
+  EXPECT_EQ(countRule(mid, "det-taint-reach", /*suppressed=*/false), 0);
+  // …the waiver is accounted as used…
+  EXPECT_EQ(mid.suppressions, 1);
+  EXPECT_EQ(mid.suppressions_unused, 0);
+  // …and propagation stops: top never sees the taint.
+  EXPECT_EQ(countRule(reportOf(t, "src/measure/top.cpp"), "det-taint-reach"),
+            0);
+}
+
+TEST(LintTaintConf, ParsesSourcesAndRejectsMalformedLines) {
+  const TaintConfig good = parseTaintConf(
+      "# external nondeterminism\n"
+      "std::getenv: env read\n"
+      "sleep_for: wall-clock timing\n");
+  ASSERT_TRUE(good.ok());
+  ASSERT_EQ(good.sources.size(), 2u);
+  EXPECT_EQ(good.sources[0].base, "getenv");
+  EXPECT_EQ(good.sources[0].qualifier, "std");
+  EXPECT_EQ(good.sources[1].qualifier, "");
+  EXPECT_EQ(good.sources[1].reason, "wall-clock timing");
+
+  EXPECT_FALSE(parseTaintConf("no separator here\n").ok());
+  EXPECT_FALSE(parseTaintConf("std::getenv:\n").ok());  // reason mandatory
+}
+
+// ----------------------------------------------------- symbol-level layers
+
+TEST(LintLayerCall, ForwardDeclarationSmugglingIsCaught) {
+  Tree t = indexTree({{"src/obs/tracer.h",
+                       "namespace sc::obs {\n"
+                       "class Tracer {\n"
+                       " public:\n"
+                       "  void flush() {}\n"
+                       "};\n"
+                       "}\n"},
+                      {"src/util/bad.cpp",
+                       // No #include — the forward declaration smuggles the
+                       // type below sim, where the include rule cannot see.
+                       "namespace sc::obs { class Tracer; }\n"
+                       "namespace sc {\n"
+                       "void poke(obs::Tracer& t) { t.flush(); }\n"
+                       "}\n"},
+                      {"src/gfw/fine.cpp",
+                       "namespace sc::gfw {\n"
+                       "void fine(obs::Tracer& t) { t.flush(); }\n"
+                       "}\n"}});
+  runTaint(t);
+  // util -> obs is not in the DAG: finding. gfw -> obs is: benign twin.
+  EXPECT_EQ(countRule(reportOf(t, "src/util/bad.cpp"), "layer-call-violation"),
+            1);
+  EXPECT_EQ(
+      countRule(reportOf(t, "src/gfw/fine.cpp"), "layer-call-violation"), 0);
+}
+
+// ------------------------------------------------------------ include graph
+
+TEST(LintInclude, DeadIncludeFlaggedUmbrellaAndCompanionSpared) {
+  Tree t = indexTree(
+      {{"src/gfw/types.h", "namespace sc::gfw { struct Verdict {}; }\n"},
+       {"src/gfw/all.h", "#include \"gfw/types.h\"\n"},
+       {"src/gfw/a.h", "namespace sc::gfw { int aFn(); }\n"},
+       // Umbrella include whose re-export is used: legal.
+       {"src/gfw/a.cpp",
+        "#include \"gfw/a.h\"\n"
+        "#include \"gfw/all.h\"\n"
+        "namespace sc::gfw { Verdict judge() { return Verdict{}; } }\n"},
+       // Same include with nothing from its closure used: dead weight.
+       {"src/gfw/b.cpp",
+        "#include \"gfw/all.h\"\n"
+        "namespace sc::gfw { int other() { return 0; } }\n"}});
+  const std::vector<Finding> findings = checkUnusedIncludes(t.index);
+  // Two findings: the dead include in b.cpp, and the umbrella header's own
+  // re-export include (all.h uses nothing from types.h itself — a header
+  // that includes purely to re-export must say so with a waiver).
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "iwyu-lite");
+  EXPECT_EQ(findings[1].rule, "iwyu-lite");
+  const bool b_flagged =
+      findings[0].file == "src/gfw/b.cpp" || findings[1].file == "src/gfw/b.cpp";
+  const bool umbrella_flagged =
+      findings[0].file == "src/gfw/all.h" || findings[1].file == "src/gfw/all.h";
+  EXPECT_TRUE(b_flagged);
+  EXPECT_TRUE(umbrella_flagged);
+  // a.cpp is spared on both counts: companion include + used re-export.
+  EXPECT_NE(findings[0].file, "src/gfw/a.cpp");
+  EXPECT_NE(findings[1].file, "src/gfw/a.cpp");
+}
+
+TEST(LintInclude, CompanionHeaderIsAlwaysUsed) {
+  Tree t = indexTree(
+      {{"src/gfw/a.h", "namespace sc::gfw { int aFn(); }\n"},
+       {"src/gfw/a.cpp",
+        "#include \"gfw/a.h\"\n"
+        "namespace sc::gfw { int unrelated() { return 0; } }\n"}});
+  EXPECT_TRUE(checkUnusedIncludes(t.index).empty());
+}
+
+TEST(LintInclude, CycleReportedOnceDiamondSilent) {
+  Tree cyc = indexTree({{"src/gfw/a.h", "#include \"gfw/b.h\"\nint x;\n"},
+                        {"src/gfw/b.h", "#include \"gfw/a.h\"\nint y;\n"}});
+  const std::vector<Finding> findings = checkIncludeCycles(cyc.index);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  ASSERT_EQ(findings[0].chain.size(), 3u);  // a -> b -> back to start
+  EXPECT_NE(findings[0].chain.back().find("back to start"),
+            std::string::npos);
+
+  Tree diamond =
+      indexTree({{"src/gfw/a.h",
+                  "#include \"gfw/b.h\"\n#include \"gfw/c.h\"\nint x;\n"},
+                 {"src/gfw/b.h", "#include \"gfw/d.h\"\nint y;\n"},
+                 {"src/gfw/c.h", "#include \"gfw/d.h\"\nint z;\n"},
+                 {"src/gfw/d.h", "int w;\n"}});
+  EXPECT_TRUE(checkIncludeCycles(diamond.index).empty());
+}
+
+// -------------------------------------------------------------- hygiene v2
+
+TEST(LintHygiene, FnvMagicBannedOutsideHashHome) {
+  // The constants appear only inside linted *content* strings; the lexer
+  // never sees them in this file's own tokens.
+  const std::string hex = "std::uint64_t h = 0xCBF29CE484222325ULL;\n";
+  const std::string dec = "std::uint64_t p = 1099511628211ULL;\n";
+  EXPECT_EQ(countRule(lintStr("src/gfw/x.cpp", hex), "hyg-fnv-magic"), 1);
+  EXPECT_EQ(countRule(lintStr("src/gfw/x.cpp", dec), "hyg-fnv-magic"), 1);
+  // The one legal home, and an unrelated constant: silent.
+  EXPECT_EQ(countRule(lintStr("src/util/hash.h", hex), "hyg-fnv-magic"), 0);
+  EXPECT_EQ(
+      countRule(lintStr("src/gfw/x.cpp", "std::uint64_t k = 0x1234ULL;\n"),
+                "hyg-fnv-magic"),
+      0);
 }
 
 }  // namespace

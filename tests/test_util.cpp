@@ -2,6 +2,7 @@
 
 #include "util/base64.h"
 #include "util/bytes.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace sc {
@@ -130,6 +131,72 @@ TEST(Strings, DnsDomainIs) {
   EXPECT_FALSE(dnsDomainIs("notgoogle.com", "google.com"));
   EXPECT_FALSE(dnsDomainIs("google.com.evil.org", "google.com"));
   EXPECT_TRUE(dnsDomainIs("SCHOLAR.GOOGLE.COM", "google.com"));
+}
+
+// The offset/prime constants themselves are asserted by spelling only the
+// *derived* reference vectors here: their literal forms are banned outside
+// util/hash.h by the hyg-fnv-magic lint rule, and this file is linted.
+TEST(Fnv1a, MatchesPublishedVectors) {
+  EXPECT_EQ(fnv1a(""), kFnv1aOffset);
+  EXPECT_EQ(fnv1a("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a, StreamingMatchesOneShot) {
+  Fnv1a h;
+  h.add(std::string_view("foo"));
+  h.add(std::string_view("bar"));
+  EXPECT_EQ(h.value(), fnv1a("foobar"));
+}
+
+TEST(Fnv1a, IntegersMixAsLittleEndianBytes) {
+  Fnv1a by_value;
+  by_value.add(std::uint64_t{0x0102030405060708ULL});
+  Fnv1a by_bytes;
+  for (int i = 8; i >= 1; --i) by_bytes.addByte(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(by_value.value(), by_bytes.value());
+
+  Fnv1a u16;
+  u16.add(std::uint16_t{0x0201});
+  Fnv1a u16_bytes;
+  u16_bytes.addByte(1);
+  u16_bytes.addByte(2);
+  EXPECT_EQ(u16.value(), u16_bytes.value());
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  Fnv1a ab;
+  ab.add(std::uint64_t{1});
+  ab.add(std::uint64_t{2});
+  Fnv1a ba;
+  ba.add(std::uint64_t{2});
+  ba.add(std::uint64_t{1});
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(Fnv1a, DoublesDigestByBitPattern) {
+  Fnv1a pos;
+  pos.add(0.0);
+  Fnv1a neg;
+  neg.add(-0.0);
+  EXPECT_NE(pos.value(), neg.value());  // distinct bit patterns, distinct digests
+  Fnv1a a;
+  a.add(3.25);
+  Fnv1a b;
+  b.add(3.25);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fnv1a, SeedConstructorResumesAStream) {
+  Fnv1a whole;
+  whole.add(std::string_view("scholar"));
+  whole.add(std::uint32_t{42});
+
+  Fnv1a first;
+  first.add(std::string_view("scholar"));
+  Fnv1a resumed(first.value());
+  resumed.add(std::uint32_t{42});
+  EXPECT_EQ(resumed.value(), whole.value());
 }
 
 }  // namespace

@@ -1,11 +1,18 @@
 // sclint — determinism & layering linter for this tree.
 //
-//   sclint [--json] [--layers lint/layers.conf] [--list-rules] PATH...
+//   sclint [--json] [--layers lint/layers.conf] [--list-rules]
+//          [--taint] [--taint-sources lint/taint_sources.conf]
+//          [--iwyu] [--callgraph] PATH...
 //
 // PATHs are files or directories (recursed for *.h/*.cpp, skipping build*/
-// and hidden directories). Exit status: 0 clean, 1 unsuppressed findings,
-// 2 usage or I/O error. See DESIGN.md §8 for the rule table and the
-// suppression policy.
+// and hidden directories). The per-file token rules always run; `--taint`
+// adds the whole-program determinism-taint pass (call chains in the output,
+// sources from the token rules plus --taint-sources) and the symbol-level
+// layer check, `--iwyu` adds unused-include and include-cycle analysis, and
+// `--callgraph` dumps the resolved call graph instead of linting. Exit
+// status: 0 clean, 1 unsuppressed findings, 2 usage or I/O error. See
+// DESIGN.md §8/§13 for the rule table, the suppression policy and the
+// whole-program model.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -14,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "lint/callgraph.h"
+#include "lint/includes.h"
+#include "lint/index.h"
 #include "lint/linter.h"
 #include "util/strings.h"
 
@@ -60,7 +70,8 @@ void collectFiles(const fs::path& root, std::vector<fs::path>& out) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--layers FILE] [--list-rules] PATH...\n",
+               "usage: %s [--json] [--layers FILE] [--list-rules] [--taint] "
+               "[--taint-sources FILE] [--iwyu] [--callgraph] PATH...\n",
                argv0);
   return 2;
 }
@@ -69,15 +80,28 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool taint = false;
+  bool iwyu = false;
+  bool dump_callgraph = false;
   std::string layers_path;
+  std::string taint_sources_path;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--taint") {
+      taint = true;
+    } else if (arg == "--iwyu") {
+      iwyu = true;
+    } else if (arg == "--callgraph") {
+      dump_callgraph = true;
     } else if (arg == "--layers") {
       if (++i >= argc) return usage(argv[0]);
       layers_path = argv[i];
+    } else if (arg == "--taint-sources") {
+      if (++i >= argc) return usage(argv[0]);
+      taint_sources_path = argv[i];
     } else if (arg == "--list-rules") {
       for (const lint::Rule& r : lint::ruleTable())
         std::printf("%-28s %-12s %s\n", r.id.c_str(), r.family.c_str(),
@@ -111,6 +135,22 @@ int main(int argc, char** argv) {
     options.layers = &layers;
   }
 
+  lint::TaintConfig taint_conf;
+  if (!taint_sources_path.empty()) {
+    std::string conf;
+    if (!readFile(taint_sources_path, conf)) {
+      std::fprintf(stderr, "sclint: cannot read %s\n",
+                   taint_sources_path.c_str());
+      return 2;
+    }
+    taint_conf = lint::parseTaintConf(conf);
+    if (!taint_conf.ok()) {
+      for (const std::string& e : taint_conf.errors)
+        std::fprintf(stderr, "sclint: %s\n", e.c_str());
+      return 2;
+    }
+  }
+
   std::vector<fs::path> files;
   for (const fs::path& root : roots) {
     if (!fs::exists(root)) {
@@ -122,6 +162,8 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());  // stable output across filesystems
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  const bool whole_program = taint || iwyu || dump_callgraph;
+  lint::SymbolIndex index;
   std::vector<lint::FileReport> reports;
   reports.reserve(files.size());
   for (const fs::path& file : files) {
@@ -138,8 +180,35 @@ int main(int argc, char** argv) {
       header.replace_extension(".h");
       if (fs::exists(header)) readFile(header, companion);
     }
-    reports.push_back(
-        lint::lintSource(file.generic_string(), content, companion, options));
+    const std::string path = file.generic_string();
+    reports.push_back(lint::lintSource(path, content, companion, options));
+    if (whole_program) lint::indexSource(path, content, options.layers, index);
+  }
+
+  if (whole_program) {
+    lint::finalizeIndex(index);
+    const lint::CallGraph graph = lint::buildCallGraph(index, options.layers);
+    if (dump_callgraph) {
+      std::fputs(lint::renderCallGraph(index, graph).c_str(), stdout);
+      return 0;
+    }
+    std::vector<lint::Finding> tree;
+    if (taint && options.layers != nullptr) {
+      for (lint::Finding& f :
+           lint::taintPass(index, graph, taint_conf, layers, reports))
+        tree.push_back(std::move(f));
+      for (lint::Finding& f : lint::checkCallLayering(index, graph, layers))
+        tree.push_back(std::move(f));
+    }
+    if (iwyu) {
+      for (lint::Finding& f : lint::checkUnusedIncludes(index))
+        tree.push_back(std::move(f));
+      for (lint::Finding& f : lint::checkIncludeCycles(index))
+        tree.push_back(std::move(f));
+    }
+    std::map<std::string, std::vector<lint::AllowSite>> allows;
+    for (const auto& [path, entry] : index.files) allows[path] = entry.allows;
+    lint::applyTreeFindings(std::move(tree), allows, reports);
   }
 
   const std::string rendered =
