@@ -211,10 +211,15 @@ struct SweepResult {
   std::vector<measure::CampaignResult> campaigns;  // index-aligned to methods
 };
 
+// `with_serverless` appends a sixth, measured-only campaign (the ephemeral
+// serverless method — no paper column to compare against). It runs AFTER the
+// five paper methods on the same testbed, so their campaigns stay
+// byte-identical to a sweep without it.
 inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
                                       std::uint64_t seed = 42,
                                       bool cold_cache = false,
-                                      const BenchArgs* args = nullptr) {
+                                      const BenchArgs* args = nullptr,
+                                      bool with_serverless = false) {
   SweepResult sweep;
   measure::TestbedOptions topts;
   topts.seed = seed;
@@ -231,6 +236,14 @@ inline SweepResult runFiveMethodSweep(int accesses, bool measure_rtt,
     if (!result.setup_ok)
       std::fprintf(stderr, "WARNING: %s setup failed\n",
                    measure::methodName(method));
+    sweep.campaigns.push_back(std::move(result));
+  }
+  if (with_serverless) {
+    auto result =
+        measure::runAccessCampaign(tb, measure::Method::kServerless, tag++,
+                                   copts);
+    if (!result.setup_ok)
+      std::fprintf(stderr, "WARNING: Serverless setup failed\n");
     sweep.campaigns.push_back(std::move(result));
   }
   if (args != nullptr) {

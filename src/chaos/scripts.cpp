@@ -49,6 +49,16 @@ ChaosScript ssEndpointDiscovery(sim::Time day) {
   return s;
 }
 
+ChaosScript endpointBanWave(sim::Time day, int bans) {
+  ChaosScript s;
+  // One permanent ban every half day starting day 1: each fires at a live,
+  // not-yet-banned endpoint IP (the injector's "egress" resolution), so the
+  // wave tracks the respawn loop instead of re-banning dead addresses.
+  for (int i = 0; i < bans; ++i)
+    s.ipBan(1 * day + i * (day / 2), "egress", /*duration=*/0);
+  return s;
+}
+
 std::vector<CannedScript> cannedScripts(sim::Time day) {
   std::vector<CannedScript> out;
   out.push_back({"vpn_ban", semesterVpnBan(day)});

@@ -30,6 +30,14 @@ ChaosScript torBridgeProbeWave(sim::Time day = 10 * sim::kSecond);
 // machine crash mid-campaign.
 ChaosScript ssEndpointDiscovery(sim::Time day = 10 * sim::kSecond);
 
+// Per-endpoint ban wave for the serverless method: `bans` PERMANENT
+// "egress" IP bans in quick succession — the GFW confirming and killing
+// every endpoint IP it can see, one by one. Against a static endpoint set
+// this is lethal (the set exhausts and never recovers); against an
+// ephemeral provider each ban just forces a respawn on a fresh IP. Not in
+// cannedScripts(): the BENCH_chaos grid keeps its original three rows.
+ChaosScript endpointBanWave(sim::Time day = 10 * sim::kSecond, int bans = 6);
+
 struct CannedScript {
   std::string name;
   ChaosScript script;

@@ -14,6 +14,7 @@ int connectionsPerAccess(Method m) {
     case Method::kShadowsocks: return 9;  // + auth connection
     case Method::kTor: return 8;
     case Method::kScholarCloud: return 7;
+    case Method::kServerless: return 7;  // same PAC split-proxy shape
     default: return 8;  // http redirect + https main + subresources + record
   }
 }
@@ -45,10 +46,16 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
   result.setup_ok = ready && ready_result;
   if (!result.setup_ok) return result;
 
-  // ScholarCloud's GFW-crossing leg is the proxies' tunnel; fold its loss in.
-  const bool include_tunnel = method == Method::kScholarCloud;
+  // ScholarCloud's GFW-crossing leg is the proxies' tunnel; fold its loss
+  // in. The serverless method has the same split shape — its border leg is
+  // the dispatcher's fronted dials, tagged kServerlessTunnelTag.
+  const bool include_tunnel =
+      method == Method::kScholarCloud || method == Method::kServerless;
+  const std::uint32_t tunnel_tag = method == Method::kServerless
+                                       ? Testbed::kServerlessTunnelTag
+                                       : Testbed::kScTunnelTag;
   const auto stats_before = tb.network().tagStats(tag);
-  const auto tunnel_before = tb.network().tagStats(Testbed::kScTunnelTag);
+  const auto tunnel_before = tb.network().tagStats(tunnel_tag);
   const std::uint64_t bytes_before = client.accessLinkBytes();
   Samples plt_first, plt_sub, rtt;
   int done_accesses = 0;
@@ -100,7 +107,7 @@ CampaignResult runAccessCampaign(Testbed& tb, Method method, std::uint32_t tag,
   if (include_tunnel) {
     // Only the proxies' tunnel crosses the GFW; the campus hop is lossless
     // and would just dilute the number the paper reports.
-    const auto tunnel_after = tb.network().tagStats(Testbed::kScTunnelTag);
+    const auto tunnel_after = tb.network().tagStats(tunnel_tag);
     originated = tunnel_after.originated - tunnel_before.originated;
     lost = tunnel_after.lostTotal() - tunnel_before.lostTotal();
   } else {

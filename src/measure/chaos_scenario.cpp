@@ -18,6 +18,7 @@
 #include "http/server.h"
 #include "measure/calibration.h"
 #include "measure/parallel.h"
+#include "measure/serverless_scenario.h"
 #include "net/topology.h"
 #include "obs/export.h"
 #include "obs/hub.h"
@@ -72,10 +73,29 @@ ChaosCellResult runTestbedCell(const ChaosCellOptions& opt) {
   tracker.attachTo(bed.hub().tracer());
 
   chaos::LinkInjector link_inj(bed.network());
-  // No egress resolver: a baseline method's endpoint is not in the "egress"
-  // rotation (symbolic bans trace as unhandled, charging the method
-  // nothing). Policy faults are what kill baselines.
-  chaos::GfwInjector gfw_inj(bed.gfw());
+  // Default: no egress resolver — a baseline method's endpoint is not in
+  // the "egress" rotation (symbolic bans trace as unhandled, charging the
+  // method nothing); policy faults are what kill baselines. With
+  // ban_method_endpoint set, "egress" resolves to the method's GFW-visible
+  // border IP instead, so a per-endpoint ban wave lands exactly once (the
+  // set is static: later bans find nothing un-banned and go unhandled).
+  chaos::GfwInjector::IpResolver resolver;
+  if (opt.ban_method_endpoint) {
+    resolver = [&bed, method = opt.method](const std::string& target)
+        -> std::optional<net::Ipv4> {
+      if (target != "egress") return std::nullopt;
+      net::Ipv4 ip{};
+      switch (method) {
+        case Method::kShadowsocks: ip = bed.ssRemoteIp(); break;
+        case Method::kTor: ip = bed.torCdnIp(); break;
+        default: return std::nullopt;
+      }
+      if (bed.gfw().ips().isBlocked(ip, bed.sim().now()))
+        return std::nullopt;  // already banned: the static set is exhausted
+      return ip;
+    };
+  }
+  chaos::GfwInjector gfw_inj(bed.gfw(), std::move(resolver));
   chaos::ChaosEngine engine(sim, opt.script);
   engine.addInjector(&link_inj);
   engine.addInjector(&gfw_inj);
@@ -276,6 +296,39 @@ ChaosCellResult runFleetChaosCell(const ChaosCellOptions& opt) {
 }  // namespace
 
 ChaosCellResult runChaosCell(const ChaosCellOptions& options) {
+  if (options.method == Method::kServerless) {
+    // The serverless method has its own world (serverless_scenario); adapt
+    // the generic cell options and fold the richer result back down.
+    ServerlessCellOptions sopt;
+    sopt.seed = options.seed;
+    sopt.users = options.users;
+    sopt.script = options.script;
+    sopt.duration = options.duration;
+    sopt.access_interval = options.access_interval;
+    sopt.fetch_timeout = options.fetch_timeout;
+    sopt.trace_capacity = options.trace_capacity;
+    const ServerlessCellResult sr = runServerlessCell(sopt);
+    ChaosCellResult out;
+    out.attempts = sr.attempts;
+    out.successes = sr.successes;
+    out.success_ratio = sr.success_ratio;
+    out.faults = sr.faults;
+    out.impacted = sr.impacted;
+    out.recovered = sr.recovered;
+    out.unrecovered = sr.unrecovered;
+    out.mean_detect_s = sr.mean_detect_s;
+    out.mean_recover_s = sr.mean_recover_s;
+    out.max_recover_s = sr.max_recover_s;
+    out.requests_lost = sr.requests_lost;
+    // "Respawns" here = spawns beyond the initial pre-warm fill.
+    out.respawns = sr.spawns > static_cast<std::uint64_t>(sopt.prewarm)
+                       ? sr.spawns - static_cast<std::uint64_t>(sopt.prewarm)
+                       : 0;
+    out.records = sr.records;
+    out.metrics_jsonl = sr.metrics_jsonl;
+    out.trace_jsonl = sr.trace_jsonl;
+    return out;
+  }
   if (options.method == Method::kScholarCloud && options.fleet)
     return runFleetChaosCell(options);
   return runTestbedCell(options);

@@ -40,6 +40,11 @@ struct ChaosCellOptions {
   sim::Time access_interval = 2 * sim::kSecond;
   sim::Time fetch_timeout = 10 * sim::kSecond;  // fleet-world raw GETs only
   std::size_t trace_capacity = obs::Tracer::kDefaultCap;
+  // Baseline (Testbed) worlds only: resolve symbolic "egress" bans to the
+  // method's GFW-visible border IP (Shadowsocks remote, Tor's fronting
+  // CDN). Off by default — the BENCH_chaos grid keeps its historical
+  // semantics where baselines are killed by policy faults, not IP bans.
+  bool ban_method_endpoint = false;
 };
 
 struct ChaosCellResult {

@@ -244,8 +244,12 @@ ValidationCellResult runValidationCell(const ValidationCellOptions& opt) {
   CampaignOptions copts;
   copts.accesses = opt.accesses;
   // population::Method and measure::Method share ordinals 0..5 by
-  // construction (both mirror the paper's method list).
-  const auto packet_method = static_cast<Method>(opt.method);
+  // construction (both mirror the paper's method list); serverless diverges
+  // (measure interposes kUsControl at 6) and must be mapped by name.
+  const auto packet_method =
+      opt.method == population::Method::kServerless
+          ? Method::kServerless
+          : static_cast<Method>(opt.method);
   const auto tag = 600 + static_cast<std::uint32_t>(opt.method);
   const CampaignResult campaign =
       runAccessCampaign(tb, packet_method, tag, copts);

@@ -10,6 +10,8 @@ double clientCryptoFraction(Method method) {
     case Method::kShadowsocks: return 1.0; // ss-local encrypts everything
     case Method::kScholarCloud: return 0.0;  // no client software at all:
       // the browser only speaks plain HTTP-proxy to the domestic hop
+    case Method::kServerless: return 0.0;  // same PAC story — the fronted
+      // TLS is the gateway's, not the client's
     case Method::kDirect:
     case Method::kUsControl: return 0.35;  // just the page's own TLS
   }
@@ -77,8 +79,12 @@ MemoryReading modelMemory(const CampaignResult& c, const MemoryModelParams& p) {
     case Method::kScholarCloud:
       after += p.tunnel_buffer_mb * 0.7;  // just proxy sockets in-browser
       break;
-    default:
-      break;
+    case Method::kServerless:
+      after += p.tunnel_buffer_mb * 0.7;  // identical client footprint: the
+      break;                              // churn lives server-side
+    case Method::kDirect:
+    case Method::kUsControl:
+      break;  // no tunnel machinery at all
   }
   r.after_mb = after;
   return r;

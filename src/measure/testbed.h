@@ -27,6 +27,10 @@
 #include "obs/hub.h"
 #include "openvpn/openvpn.h"
 #include "regulation/mps_investigation.h"
+#include "serverless/cost.h"
+#include "serverless/dispatcher.h"
+#include "serverless/provider.h"
+#include "serverless/runtime.h"
 #include "shadowsocks/shadowsocks.h"
 #include "tor/client.h"
 #include "vpn/l2tp.h"
@@ -40,9 +44,16 @@ enum class Method {
   kTor = 2,
   kShadowsocks = 3,
   kScholarCloud = 4,
-  kDirect = 5,    // no circumvention (blocked)
-  kUsControl = 6  // client in the US (uncensored baseline)
+  kDirect = 5,     // no circumvention (blocked)
+  kUsControl = 6,  // client in the US (uncensored baseline)
+  kServerless = 7  // ephemeral cloud functions behind a fronted domain
 };
+
+// Number of Method values. The per-method exhaustiveness test walks
+// [0, kMethodCount) over methodName and the flow-model/resource-model
+// tables, so a new method cannot silently miss a switch.
+inline constexpr std::size_t kMethodCount =
+    static_cast<std::size_t>(Method::kServerless) + 1;
 
 const char* methodName(Method m);
 
@@ -57,6 +68,11 @@ struct TestbedOptions {
   int tor_public_middles = 2;
   int tor_public_exits = 2;
   sim::Time ss_keepalive = 10 * sim::kSecond;  // paper default
+  // Serverless method knobs (the world is built lazily on the first
+  // kServerless client, so these cost nothing for other methods).
+  int serverless_prewarm = 2;
+  int serverless_max_live = 8;
+  sim::Time serverless_ttl = 120 * sim::kSecond;
   // Structured event tracing (obs::Tracer). Off by default: metrics are
   // always collected (they observe, never perturb), but the trace ring only
   // fills when requested.
@@ -123,6 +139,10 @@ class Testbed {
   net::Ipv4 usDnsIp() const { return us_dns_ip_; }
   net::Ipv4 scholarIp() const { return scholar_ip_; }
   net::Ipv4 amazonIp() const { return amazon_ip_; }
+  net::Ipv4 ssRemoteIp() const { return ss_remote_ip_; }
+  // The GFW-visible egress of Tor-via-meek is the fronting CDN, not the
+  // hidden bridge — banning it is the collateral-damage move.
+  net::Ipv4 torCdnIp() const { return cdn_ip_; }
   transport::HostStack& scholarStack() noexcept { return *scholar_stack_; }
   transport::HostStack& vpnServerStack() noexcept { return *vpn_stack_; }
 
@@ -135,6 +155,26 @@ class Testbed {
   // proxy). The GFW-crossing leg of a ScholarCloud access belongs to the
   // proxies, not the client, so PLR is measured here (Fig. 5c).
   static constexpr std::uint32_t kScTunnelTag = 900;
+  // Same role for the serverless method: the fronted dials from the
+  // dispatcher gateway to the function endpoints are the GFW-crossing leg.
+  static constexpr std::uint32_t kServerlessTunnelTag = 901;
+  // The innocuous SNI every fronted dial carries; the per-endpoint
+  // hostnames never appear on the wire.
+  static constexpr const char* kFrontDomain = "fn.cloud-front.example";
+
+  // Serverless handles (valid once a kServerless client exists; null
+  // before — the subsystem is built lazily to keep other methods' worlds,
+  // and therefore their rng draws, byte-identical to the seed).
+  core::DomesticProxy* serverlessGateway() noexcept {
+    return sl_gateway_.get();
+  }
+  serverless::FunctionProvider* serverlessProvider() noexcept {
+    return sl_provider_.get();
+  }
+  serverless::FrontedDispatcher* serverlessDispatcher() noexcept {
+    return sl_dispatcher_.get();
+  }
+  serverless::CostModel* serverlessCost() noexcept { return sl_cost_.get(); }
 
  private:
   void buildOrigins();
@@ -142,6 +182,7 @@ class Testbed {
   void buildMethodServers();
   void buildTorNetwork();
   void buildScholarCloud();
+  void ensureServerless();
 
   TestbedOptions options_;
   sim::Simulator sim_;
@@ -209,6 +250,21 @@ class Testbed {
   std::unique_ptr<transport::HostStack> sc_remote_stack_;
   std::unique_ptr<core::RemoteProxy> remote_proxy_;
   std::unique_ptr<core::Deployment> deployment_;
+
+  // Serverless (lazy: built by the first kServerless client). Declaration
+  // order matters for teardown: the dispatcher is declared last so it is
+  // destroyed first and severs its tunnels while the function hosts and
+  // gateway stack are still alive.
+  struct FnHost {
+    std::unique_ptr<transport::HostStack> stack;
+    std::unique_ptr<serverless::FunctionRuntime> runtime;
+  };
+  std::vector<std::unique_ptr<FnHost>> fn_hosts_;
+  std::unique_ptr<transport::HostStack> sl_gateway_stack_;
+  std::unique_ptr<core::DomesticProxy> sl_gateway_;
+  std::unique_ptr<serverless::CostModel> sl_cost_;
+  std::unique_ptr<serverless::FunctionProvider> sl_provider_;
+  std::unique_ptr<serverless::FrontedDispatcher> sl_dispatcher_;
 
   std::vector<std::unique_ptr<Client>> clients_;
   int client_counter_ = 0;

@@ -18,6 +18,7 @@ const char* spanKindName(SpanKind kind) {
     case SpanKind::kProxyHop: return "proxy_hop";
     case SpanKind::kCacheLookup: return "cache_lookup";
     case SpanKind::kUpstreamFetch: return "upstream_fetch";
+    case SpanKind::kColdStart: return "cold_start";
   }
   return "?";
 }

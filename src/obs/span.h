@@ -53,10 +53,11 @@ enum class SpanKind : std::uint8_t {
   kProxyHop,         // proxy leg: CONNECT/SOCKS negotiation or server pick
   kCacheLookup,      // domestic/fleet response-cache consult
   kUpstreamFetch,    // one HTTP request/response on an acquired stream
+  kColdStart,        // serverless function provisioning: spawn -> ready
 };
 
 // Number of SpanKind values (used by exhaustiveness tests and aggregation).
-inline constexpr std::size_t kSpanKindCount = 9;
+inline constexpr std::size_t kSpanKindCount = 10;
 
 const char* spanKindName(SpanKind kind);
 

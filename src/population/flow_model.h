@@ -39,8 +39,9 @@
 
 namespace sc::population {
 
-// Mirrors the paper's five methods plus blocked direct access. Kept ordinal
-// so per-method tables are flat arrays.
+// Mirrors the paper's five methods plus blocked direct access, plus the
+// ephemeral serverless method layered on afterwards. Kept ordinal so
+// per-method tables are flat arrays.
 enum class Method {
   kNativeVpn = 0,
   kOpenVpn = 1,
@@ -48,8 +49,10 @@ enum class Method {
   kShadowsocks = 3,
   kScholarCloud = 4,
   kDirect = 5,
+  kServerless = 6,
 };
-inline constexpr std::size_t kMethodCount = 6;
+inline constexpr std::size_t kMethodCount =
+    static_cast<std::size_t>(Method::kServerless) + 1;
 const char* methodName(Method m);
 
 // Calibrated per-method path profile. Round-trip counts and setup penalties

@@ -60,7 +60,7 @@ PopulationModel::PopulationModel(PopulationOptions options,
                                  std::vector<UserClassSpec> classes)
     : options_(options),
       classes_(std::move(classes)),
-      sampler_(options.seed) {
+      sampler_(options.seed, options.serverless_share) {
   // Normalize each diurnal curve to mean 1.0 so accesses_per_day is the
   // daily budget no matter how the curve was sketched.
   for (auto& c : classes_) {
@@ -131,6 +131,7 @@ Method PopulationModel::methodOf(std::uint64_t user_id) const noexcept {
     // ScholarCloud profile (split proxy, domestic hop) is the closest
     // path shape.
     case survey::AccessMethod::kOther: return Method::kScholarCloud;
+    case survey::AccessMethod::kServerless: return Method::kServerless;
     case survey::AccessMethod::kNone: break;
   }
   // Non-bypassing scholars: adopted ScholarCloud, or still hitting the

@@ -1,0 +1,62 @@
+#include "serverless/cost.h"
+
+namespace sc::serverless {
+
+CostModel::CostModel(sim::Simulator& sim, CostRates rates)
+    : sim_(sim), rates_(rates) {
+  if (obs::Registry* reg = obs::registryOf(sim_)) {
+    c_invocations_ = reg->counter("sc.serverless.invocations");
+    c_spawns_ = reg->counter("sc.serverless.spawns");
+    c_cold_starts_ = reg->counter("sc.serverless.cold_starts");
+    c_bans_ = reg->counter("sc.serverless.bans");
+    g_live_ = reg->gauge("sc.serverless.live");
+    g_endpoint_seconds_ = reg->gauge("sc.serverless.endpoint_seconds");
+    g_cost_units_ = reg->gauge("sc.serverless.cost_units");
+  }
+}
+
+void CostModel::endpointStarted(int id) {
+  started_.emplace(id, sim_.now());
+  ++spawns_;
+  if (c_spawns_ != nullptr) c_spawns_->inc();
+  if (g_live_ != nullptr) g_live_->set(static_cast<double>(started_.size()));
+}
+
+void CostModel::endpointStopped(int id) {
+  const auto it = started_.find(id);
+  if (it == started_.end()) return;
+  accrued_s_ += sim::toSeconds(sim_.now() - it->second);
+  started_.erase(it);
+  if (g_live_ != nullptr) g_live_->set(static_cast<double>(started_.size()));
+}
+
+void CostModel::coldStart(sim::Time latency) {
+  ++cold_starts_;
+  cold_total_ += latency;
+  if (latency > cold_max_) cold_max_ = latency;
+  if (c_cold_starts_ != nullptr) c_cold_starts_->inc();
+}
+
+void CostModel::ban() {
+  ++bans_;
+  if (c_bans_ != nullptr) c_bans_->inc();
+}
+
+void CostModel::invocation() {
+  ++invocations_;
+  if (c_invocations_ != nullptr) c_invocations_->inc();
+}
+
+double CostModel::endpointSeconds() const {
+  double total = accrued_s_;
+  for (const auto& [id, since] : started_)
+    total += sim::toSeconds(sim_.now() - since);
+  return total;
+}
+
+void CostModel::publish() {
+  if (g_endpoint_seconds_ != nullptr) g_endpoint_seconds_->set(endpointSeconds());
+  if (g_cost_units_ != nullptr) g_cost_units_->set(totalCost());
+}
+
+}  // namespace sc::serverless

@@ -1,0 +1,80 @@
+#include "serverless/runtime.h"
+
+#include "obs/hub.h"
+#include "transport/stream.h"
+
+namespace sc::serverless {
+
+FunctionRuntime::FunctionRuntime(transport::HostStack& stack,
+                                 RuntimeOptions options)
+    : stack_(stack),
+      options_(std::move(options)),
+      resolver_(stack, options_.dns_server),
+      acceptor_(options_.cert_name, stack.sim()) {
+  listener_ = stack_.tcpListen(options_.port,
+                               [this](transport::TcpSocket::Ptr sock) {
+                                 onConnection(std::move(sock));
+                               });
+}
+
+void FunctionRuntime::onConnection(transport::TcpSocket::Ptr sock) {
+  acceptor_.accept(std::move(sock), [this](http::TlsStream::Ptr tls) {
+    if (tls == nullptr) return;
+    ++tunnels_;
+    core::Tunnel::Options topts;
+    topts.secret = options_.tunnel_secret;
+    topts.blinding_mode = options_.blinding_mode;
+    topts.client_side = false;
+    auto tunnel = core::Tunnel::create(tls, stack_.sim(), std::move(topts));
+    tunnel->setOpenHandler([this](transport::Stream::Ptr stream,
+                                  transport::ConnectTarget target,
+                                  bool passthrough) {
+      (void)passthrough;
+      onOpen(std::move(stream), std::move(target));
+    });
+    tunnels_alive_.insert(tunnel);
+    tunnel->setOnClose([this, raw = tunnel.get()] {
+      std::erase_if(tunnels_alive_, [raw](const core::Tunnel::Ptr& t) {
+        return t.get() == raw;
+      });
+    });
+  });
+}
+
+void FunctionRuntime::onOpen(transport::Stream::Ptr stream,
+                             transport::ConnectTarget target) {
+  ++streams_;
+
+  auto connect_upstream = [this, stream](net::Ipv4 ip, net::Port port) {
+    // Function invocations are metered CPU like any relay (Fig. 7 framing);
+    // cold starts are modelled at spawn time, not here.
+    stack_.cpu().submit(options_.cycles_per_request, [this, stream, ip, port] {
+      stack_.directConnector()->connect(
+          transport::ConnectTarget::byAddress({ip, port}),
+          [stream](transport::Stream::Ptr upstream) {
+            if (upstream == nullptr) {
+              stream->close();
+              return;
+            }
+            transport::bridgeStreams(stream, upstream);
+          });
+    });
+  };
+
+  if (target.byName()) {
+    const net::Port port = target.port;
+    resolver_.resolve(target.host,
+                      [stream, port, connect_upstream](
+                          std::optional<net::Ipv4> ip) {
+                        if (!ip.has_value()) {
+                          stream->close();
+                          return;
+                        }
+                        connect_upstream(*ip, port);
+                      });
+  } else {
+    connect_upstream(target.ip, target.port);
+  }
+}
+
+}  // namespace sc::serverless

@@ -14,6 +14,7 @@ const char* accessMethodName(AccessMethod m) {
     case AccessMethod::kTor: return "tor";
     case AccessMethod::kShadowsocks: return "shadowsocks";
     case AccessMethod::kOther: return "other";
+    case AccessMethod::kServerless: return "serverless";
   }
   return "?";
 }
@@ -64,6 +65,9 @@ double bypassShare(AccessMethod m) {
     case AccessMethod::kTor: return Figure3::kTorShare;
     case AccessMethod::kShadowsocks: return Figure3::kShadowsocksShare;
     case AccessMethod::kOther: return Figure3::kOtherShare;
+    // Not a July-2015 survey answer; it only enters via MethodSampler's
+    // what-if overlay.
+    case AccessMethod::kServerless: return 0.0;
   }
   return 0.0;
 }
@@ -93,14 +97,19 @@ std::uint64_t mixU64(std::uint64_t x) noexcept {
 
 }  // namespace
 
-MethodSampler::MethodSampler(std::uint64_t seed)
+MethodSampler::MethodSampler(std::uint64_t seed, double serverless_share)
     : seed_(seed), shares_(populationShares()) {
+  const double sv = std::clamp(serverless_share, 0.0, 1.0);
   double acc = 0;
   for (auto& s : shares_) {
-    acc += s.share;
+    acc += s.share * (1.0 - sv);
     s.share = acc;  // convert to CDF upper edges
   }
-  shares_.back().share = 1.0;  // absorb rounding in the last bucket
+  // Absorb rounding in the last Fig. 3 bucket; everything above it is the
+  // serverless overlay. At sv == 0 this is exactly the historical CDF —
+  // no extra bucket, no edge moved, methodOf bit-identical for every id.
+  shares_.back().share = 1.0 - sv;
+  if (sv > 0.0) shares_.push_back({AccessMethod::kServerless, 1.0});
 }
 
 AccessMethod MethodSampler::methodOf(std::uint64_t user_id) const noexcept {

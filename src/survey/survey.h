@@ -22,6 +22,7 @@ enum class AccessMethod {
   kTor,
   kShadowsocks,
   kOther,        // Free Gate, hosts-file edits, other web proxies...
+  kServerless,   // ephemeral cloud functions — post-survey what-if, not Fig. 3
 };
 
 const char* accessMethodName(AccessMethod m);
@@ -82,7 +83,12 @@ double bypassShare(AccessMethod m);
 // distinct assignments with the same aggregate distribution.
 class MethodSampler {
  public:
-  explicit MethodSampler(std::uint64_t seed);
+  // `serverless_share` is a what-if overlay on the Fig. 3 distribution: that
+  // fraction of ALL respondents (drawn proportionally from every bucket,
+  // kNone included) is reassigned to kServerless. At the default 0 the CDF
+  // is bit-for-bit the historical Fig. 3 walk — methodOf(id) for every id is
+  // unchanged, which the golden-hash regression test pins.
+  explicit MethodSampler(std::uint64_t seed, double serverless_share = 0.0);
 
   AccessMethod methodOf(std::uint64_t user_id) const noexcept;
 

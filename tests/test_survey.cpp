@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "survey/survey.h"
+#include "util/hash.h"
 
 namespace sc::survey {
 namespace {
@@ -116,6 +117,42 @@ TEST(Survey, MethodSamplerMatchesFig3AtScale) {
   EXPECT_NEAR(counts[AccessMethod::kTor] / n, 0.26 * 0.02, 0.003);
   EXPECT_NEAR(counts[AccessMethod::kShadowsocks] / n, 0.26 * 0.21, 0.005);
   EXPECT_NEAR(counts[AccessMethod::kOther] / n, 0.26 * 0.34, 0.005);
+}
+
+// FNV-1a over the full assignment stream: any change to the sampler's draw
+// path — including the serverless what-if overlay at its default share of
+// zero — flips these goldens. Byte-identity is the fig3 regression contract.
+std::uint64_t assignmentHash(const MethodSampler& sampler) {
+  Fnv1a h;
+  for (std::uint64_t id = 0; id < 10000; ++id)
+    h.addByte(static_cast<std::uint8_t>(sampler.methodOf(id)));
+  return h.value();
+}
+
+TEST(Survey, ServerlessShareZeroKeepsGoldenAssignments) {
+  EXPECT_EQ(assignmentHash(MethodSampler(2015)), 0x8b1b79f6ee4ea669ULL);
+  EXPECT_EQ(assignmentHash(MethodSampler(42)), 0x37272d920d24c4cfULL);
+  // The explicit-zero overlay is the same code path as the default.
+  EXPECT_EQ(assignmentHash(MethodSampler(2015, 0.0)), 0x8b1b79f6ee4ea669ULL);
+}
+
+TEST(Survey, ServerlessShareCarvesOutTheRequestedFraction) {
+  const double share = 0.15;
+  const MethodSampler sampler(2015, share);
+  constexpr std::uint64_t kUsers = 200000;
+  std::map<AccessMethod, std::uint64_t> counts;
+  for (std::uint64_t id = 0; id < kUsers; ++id) ++counts[sampler.methodOf(id)];
+  const double n = static_cast<double>(kUsers);
+  EXPECT_NEAR(counts[AccessMethod::kServerless] / n, share, 0.005);
+  // Everyone else shrinks proportionally: Fig. 3 ratios are preserved.
+  EXPECT_NEAR(counts[AccessMethod::kNone] / n, (1.0 - share) * 0.74, 0.01);
+  EXPECT_NEAR(counts[AccessMethod::kShadowsocks] / n,
+              (1.0 - share) * 0.26 * 0.21, 0.005);
+}
+
+TEST(Survey, ServerlessAccessMethodHasNameAndZeroFig3Share) {
+  EXPECT_STREQ(accessMethodName(AccessMethod::kServerless), "serverless");
+  EXPECT_EQ(bypassShare(AccessMethod::kServerless), 0.0);
 }
 
 TEST(Survey, TextSummaryMentionsTheHeadlineNumbers) {
